@@ -1,0 +1,52 @@
+"""Benchmark fixtures: one paper-calibrated study + pipeline per session.
+
+Every bench regenerates one table/figure of the paper, printing a
+paper-vs-measured report (bypassing pytest capture so `pytest
+benchmarks/ --benchmark-only | tee ...` records them) and timing the
+representative computation with pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.core import DetectionPipeline
+from repro.experiments import ExperimentReport, Workbench
+from repro.simulation import SimulationConfig
+
+REPORT_DIR = Path(__file__).parent / "reports"
+
+
+@pytest.fixture(scope="session")
+def workbench() -> Workbench:
+    """The paper-calibrated cohort: 178 worker + 88 regular devices."""
+    return Workbench(SimulationConfig(), DetectionPipeline(n_splits=10))
+
+
+@pytest.fixture(scope="session")
+def observations(workbench):
+    return workbench.observations
+
+
+@pytest.fixture(scope="session")
+def pipeline_result(workbench):
+    """Warm the (expensive) pipeline cache once for all classifier benches."""
+    return workbench.pipeline_result
+
+
+@pytest.fixture(scope="session")
+def emit():
+    """Write a report to benchmarks/reports/ and to the real stdout."""
+    REPORT_DIR.mkdir(exist_ok=True)
+
+    def _emit(report: ExperimentReport) -> ExperimentReport:
+        text = report.render()
+        (REPORT_DIR / f"{report.experiment_id}.txt").write_text(text + "\n")
+        sys.__stdout__.write("\n" + text + "\n")
+        sys.__stdout__.flush()
+        return report
+
+    return _emit

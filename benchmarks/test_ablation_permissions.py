@@ -1,0 +1,59 @@
+"""Ablation: permission-denial rates (§3, §9).
+
+RacketStore only sees accounts/foreground data where participants grant
+GET_ACCOUNTS / PACKAGE_USAGE_STATS; §9's proposal (embed the classifier
+in a pre-installed client) matters precisely because such clients hold
+these permissions by default.  This bench re-runs small worlds at
+different grant rates and measures what denial costs the device
+classifier.
+"""
+
+from repro.core import DetectionPipeline
+from repro.experiments.common import ExperimentReport
+from repro.reporting import render_table
+from repro.simulation import SimulationConfig, run_study
+
+
+def _f1_at(accounts_prob: float, usage_prob: float) -> float:
+    config = SimulationConfig.small().scaled(
+        grant_get_accounts_prob=accounts_prob,
+        grant_usage_stats_prob=usage_prob,
+    )
+    data = run_study(config)
+    result = DetectionPipeline(n_splits=5).run(data)
+    return result.device_evaluation.results["XGB"].f1
+
+
+def test_ablation_permission_denial(benchmark, emit):
+    scenarios = [
+        ("all granted (pre-installed client, §9)", 1.0, 1.0),
+        ("paper-like grant rates", 0.8, 0.96),
+        ("accounts denied everywhere", 0.0, 1.0),
+    ]
+    rows = []
+    metrics = {}
+    for label, accounts, usage in scenarios:
+        f1 = _f1_at(accounts, usage)
+        rows.append((label, accounts, usage, f1))
+        metrics[label] = f1
+
+    benchmark.pedantic(_f1_at, args=(1.0, 1.0), rounds=1, iterations=1)
+    emit(
+        ExperimentReport(
+            "ablation_permissions",
+            "Device classifier vs permission grant rates (§3/§9)",
+            lines=[
+                render_table(
+                    ["scenario", "GET_ACCOUNTS", "USAGE_STATS", "XGB F1"], rows
+                ),
+                "Account data drives the review-join features; §9's "
+                "pre-installed-client deployment sidesteps denial entirely.",
+            ],
+            metrics=metrics,
+        )
+    )
+    # Full grants are at least as good as paper-like partial grants, and
+    # the detector degrades but survives a full GET_ACCOUNTS blackout
+    # (stopped apps/churn/usage still separate).
+    assert metrics["all granted (pre-installed client, §9)"] >= 0.9
+    assert metrics["accounts denied everywhere"] >= 0.7

@@ -1,0 +1,13 @@
+"""Bench: §4-§5 dataset overview (recruitment funnel, Appendix-A coalescing)."""
+
+from repro.experiments import run_experiment
+
+
+def test_fig00_dataset_overview(benchmark, workbench, emit):
+    report = benchmark.pedantic(
+        lambda: run_experiment("fig00", workbench), rounds=1, iterations=1
+    )
+    emit(report)
+    # Coalescing must fold the repeat installs back into unique devices.
+    assert report.metrics["installs"] > report.metrics["unique_devices"]
+    assert report.metrics["snapshots"] > 100_000

@@ -1,0 +1,13 @@
+"""Bench: Figure 11 permissions of cohort-exclusive apps."""
+
+from repro.analysis import compute_app_permissions
+from repro.experiments import run_experiment
+
+
+def test_fig11_permissions(benchmark, workbench, emit):
+    benchmark(compute_app_permissions, workbench.observations, workbench.data.catalog)
+    report = emit(run_experiment("fig11", workbench))
+    # Similar typical profiles; worker-exclusive apps own the extreme
+    # dangerous-permission tail.
+    assert report.metrics["worker_dangerous_max"] >= report.metrics["regular_dangerous_max"]
+    assert report.metrics["worker_dangerous_mean"] <= report.metrics["regular_dangerous_mean"] * 4

@@ -1,0 +1,19 @@
+"""Bench: Figure 14 — top-10 device-feature Gini importances."""
+
+from repro.experiments import run_experiment
+from repro.ml import RandomForestClassifier
+
+
+def test_fig14_device_importance(benchmark, workbench, pipeline_result, emit):
+    dataset = pipeline_result.device_dataset
+    forest = RandomForestClassifier(n_estimators=80, random_state=0)
+    benchmark.pedantic(
+        lambda: forest.fit(dataset.X, dataset.y).feature_importances_,
+        rounds=1,
+        iterations=1,
+    )
+    report = emit(run_experiment("fig14", workbench))
+    # Paper's standout four: total apps reviewed, app suspiciousness,
+    # stopped apps, reviews per account.  Require most of that family in
+    # our top-6 (correlated aliases accepted).
+    assert report.metrics["paper_top4_hits"] >= 3

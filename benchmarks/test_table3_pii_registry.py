@@ -1,0 +1,10 @@
+"""Bench: Table 3 — the PII governance registry."""
+
+from repro.experiments import run_experiment
+from repro.platform.models import PII_REGISTRY
+
+
+def test_table3_pii_registry(benchmark, workbench, emit):
+    benchmark(lambda: [entry.pii for entry in PII_REGISTRY])
+    report = emit(run_experiment("table3", workbench))
+    assert report.metrics["registry_entries"] == 6

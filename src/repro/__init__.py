@@ -1,0 +1,36 @@
+"""RacketStore reproduction: measurements of ASO deception in Google
+Play via mobile and app usage (Hernandez et al., IMC 2021).
+
+Subpackages
+-----------
+``repro.simulation``
+    Agent-based cohort simulator substituting for the 803 recruited
+    participant devices, calibrated to every statistic the paper reports.
+``repro.platform``
+    The RacketStore platform: mobile-app collectors, buffer/transport,
+    backend server, document store, Appendix-A device fingerprinting.
+``repro.playstore`` / ``repro.virustotal``
+    Google Play (catalog, rank, reviews, crawlers) and VirusTotal
+    (62-engine panel) substrates.
+``repro.ml`` / ``repro.statstests``
+    From-scratch ML algorithms (XGB, RF, LR, KNN, LVQ, SVM, SMOTE, CV,
+    metrics) and the §6 statistical-test battery.
+``repro.core``
+    The paper's contribution: §7.1/§8.1 features, §7.2 labeling, app and
+    device classifiers, the end-to-end pipeline, on-device detection.
+``repro.analysis`` / ``repro.experiments``
+    §6 measurement analyses and per-table/figure experiment runners.
+
+Quickstart
+----------
+>>> from repro.simulation import SimulationConfig, run_study
+>>> from repro.core import DetectionPipeline
+>>> data = run_study(SimulationConfig.small())
+>>> result = DetectionPipeline(n_splits=5).run(data)
+>>> result.app_evaluation.best_algorithm()  # doctest: +SKIP
+'XGB'
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

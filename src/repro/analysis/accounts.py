@@ -1,0 +1,63 @@
+"""§6.2 registered accounts (Figure 5): Gmail counts, account types,
+non-Gmail accounts, for devices that reported account data."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.observations import DeviceObservation
+from .common import GroupComparison, compare_feature
+
+__all__ = ["AccountsResult", "compute_accounts"]
+
+
+@dataclass
+class AccountsResult:
+    """The three panels of Figure 5."""
+
+    gmail: GroupComparison
+    account_types: GroupComparison
+    non_gmail: GroupComparison
+    reporting_worker_devices: int
+    reporting_regular_devices: int
+    worker_devices_over_100_gmail: int
+    total_worker_gmail_accounts: int
+
+    def panels(self) -> list[GroupComparison]:
+        return [self.gmail, self.account_types, self.non_gmail]
+
+
+def compute_accounts(observations: list[DeviceObservation]) -> AccountsResult:
+    """Account statistics over devices whose slow snapshots carried the
+    GET_ACCOUNTS data (the paper's 145 regular / 390 worker subset)."""
+    reporting = [
+        obs
+        for obs in observations
+        if obs.reported_account_data and obs.reported_accounts
+    ]
+    workers = [o for o in reporting if o.is_worker]
+    regulars = [o for o in reporting if not o.is_worker]
+
+    return AccountsResult(
+        gmail=compare_feature(
+            "gmail_accounts",
+            [o.n_gmail_accounts for o in workers],
+            [o.n_gmail_accounts for o in regulars],
+        ),
+        account_types=compare_feature(
+            "account_types",
+            [o.n_account_types for o in workers],
+            [o.n_account_types for o in regulars],
+        ),
+        non_gmail=compare_feature(
+            "non_gmail_accounts",
+            [o.n_non_gmail_accounts for o in workers],
+            [o.n_non_gmail_accounts for o in regulars],
+        ),
+        reporting_worker_devices=len(workers),
+        reporting_regular_devices=len(regulars),
+        worker_devices_over_100_gmail=sum(
+            1 for o in workers if o.n_gmail_accounts > 100
+        ),
+        total_worker_gmail_accounts=sum(o.n_gmail_accounts for o in workers),
+    )

@@ -1,0 +1,47 @@
+"""Shared result types for the §6 measurement analyses."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..statstests import EffectSizes, SignificanceBattery, Summary, compare_groups, effect_sizes, summarize
+
+__all__ = ["GroupComparison", "compare_feature"]
+
+
+@dataclass(frozen=True)
+class GroupComparison:
+    """One worker-vs-regular feature comparison in the paper's format:
+    per-group descriptive summaries plus the three-test battery."""
+
+    feature: str
+    worker: Summary
+    regular: Summary
+    tests: SignificanceBattery
+    effects: EffectSizes
+
+    def significant(self, alpha: float = 0.05) -> bool:
+        return self.tests.all_significant(alpha)
+
+    def paper_style_rows(self) -> list[str]:
+        return [
+            f"{self.feature} [worker]  : {self.worker.paper_style()}",
+            f"{self.feature} [regular] : {self.regular.paper_style()}",
+            f"  KS p={self.tests.ks.pvalue:.3g}, ANOVA p={self.tests.anova.pvalue:.3g}, "
+            f"Kruskal p={self.tests.kruskal.pvalue:.3g}",
+            f"  effect: Cliff's delta={self.effects.cliffs_delta:+.2f} "
+            f"({self.effects.magnitude()}), Cohen's d={self.effects.cohens_d:+.2f}",
+        ]
+
+
+def compare_feature(feature: str, worker_values, regular_values) -> GroupComparison:
+    """Summaries + KS/ANOVA/Kruskal battery for one feature."""
+    worker_values = list(worker_values)
+    regular_values = list(regular_values)
+    return GroupComparison(
+        feature=feature,
+        worker=summarize(worker_values),
+        regular=summarize(regular_values),
+        tests=compare_groups(feature, worker_values, regular_values),
+        effects=effect_sizes(worker_values, regular_values),
+    )

@@ -1,0 +1,63 @@
+"""§6.3 apps used per day vs apps installed (Figure 10).
+
+The paper's point: substantial overlap between worker and regular
+devices — daily used-app counts alone cannot separate the groups."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.observations import DeviceObservation
+from .common import GroupComparison, compare_feature
+
+__all__ = ["DailyUsePoint", "DailyUseResult", "compute_daily_use"]
+
+
+@dataclass(frozen=True)
+class DailyUsePoint:
+    install_id: str
+    is_worker: bool
+    apps_used_per_day: float
+    apps_installed: int
+
+
+@dataclass
+class DailyUseResult:
+    """Figure 10 scatter data."""
+
+    points: list[DailyUsePoint]
+    comparison: GroupComparison
+
+    def overlap_fraction(self) -> float:
+        """Fraction of worker devices inside the regular devices' IQR of
+        apps-used-per-day — a quantitative 'substantial overlap' check."""
+        regular = sorted(
+            p.apps_used_per_day for p in self.points if not p.is_worker
+        )
+        workers = [p.apps_used_per_day for p in self.points if p.is_worker]
+        if not regular or not workers:
+            return 0.0
+        lo = regular[len(regular) // 4]
+        hi = regular[(3 * len(regular)) // 4]
+        return sum(1 for w in workers if lo <= w <= hi) / len(workers)
+
+
+def compute_daily_use(observations: list[DeviceObservation]) -> DailyUseResult:
+    reporting = [o for o in observations if o.initial is not None and o.fast_runs]
+    points = [
+        DailyUsePoint(
+            install_id=obs.install_id,
+            is_worker=obs.is_worker,
+            apps_used_per_day=obs.apps_used_per_day,
+            apps_installed=obs.n_installed_apps,
+        )
+        for obs in reporting
+    ]
+    return DailyUseResult(
+        points=points,
+        comparison=compare_feature(
+            "apps_used_per_day",
+            [p.apps_used_per_day for p in points if p.is_worker],
+            [p.apps_used_per_day for p in points if not p.is_worker],
+        ),
+    )

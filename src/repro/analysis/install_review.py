@@ -1,0 +1,64 @@
+"""§6.3 install-to-review times (Figure 7).
+
+Each point is one review from a device-registered account for an app
+with a known (Android-API) install time on that device.  Negative
+intervals — reviews that predate the last install — come from previous
+installs and are discarded, exactly as the paper does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.observations import DeviceObservation
+from .common import GroupComparison, compare_feature
+
+__all__ = ["InstallReviewResult", "compute_install_to_review"]
+
+
+@dataclass
+class InstallReviewResult:
+    """Figure 7 data plus the §6.3 headline counts."""
+
+    comparison: GroupComparison
+    worker_delays_days: list[float]
+    regular_delays_days: list[float]
+    worker_within_one_day: int
+    regular_within_one_day: int
+    worker_over_100_days: int
+
+    @property
+    def worker_review_count(self) -> int:
+        return len(self.worker_delays_days)
+
+    @property
+    def regular_review_count(self) -> int:
+        return len(self.regular_delays_days)
+
+    @property
+    def worker_fast_fraction(self) -> float:
+        if not self.worker_delays_days:
+            return 0.0
+        return self.worker_within_one_day / len(self.worker_delays_days)
+
+
+def compute_install_to_review(
+    observations: list[DeviceObservation],
+) -> InstallReviewResult:
+    worker_delays: list[float] = []
+    regular_delays: list[float] = []
+    for obs in observations:
+        target = worker_delays if obs.is_worker else regular_delays
+        for package in obs.device_reviews:
+            target.extend(obs.install_to_review_days(package))
+
+    return InstallReviewResult(
+        comparison=compare_feature(
+            "install_to_review_days", worker_delays, regular_delays
+        ),
+        worker_delays_days=sorted(worker_delays),
+        regular_delays_days=sorted(regular_delays),
+        worker_within_one_day=sum(1 for d in worker_delays if d <= 1.0),
+        regular_within_one_day=sum(1 for d in regular_delays if d <= 1.0),
+        worker_over_100_days=sum(1 for d in worker_delays if d > 100.0),
+    )

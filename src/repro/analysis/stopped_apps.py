@@ -1,0 +1,41 @@
+"""§6.3 stopped apps (Figure 8): workers stop significantly more apps."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.observations import DeviceObservation
+from .common import GroupComparison, compare_feature
+
+__all__ = ["StoppedAppsResult", "compute_stopped_apps"]
+
+
+@dataclass
+class StoppedAppsResult:
+    """Figure 8: per-device stopped-app counts (first slow snapshot)."""
+
+    comparison: GroupComparison
+    worker_counts: list[int]
+    regular_counts: list[int]
+
+    def boxplot_stats(self) -> dict[str, dict[str, float]]:
+        """Quartile summaries for the two boxes of Figure 8."""
+        return {
+            "worker": self.comparison.worker.as_dict(),
+            "regular": self.comparison.regular.as_dict(),
+        }
+
+
+def compute_stopped_apps(observations: list[DeviceObservation]) -> StoppedAppsResult:
+    reporting = [o for o in observations if o.slow_runs]
+    worker_counts = [
+        len(o.stopped_apps_first) for o in reporting if o.is_worker
+    ]
+    regular_counts = [
+        len(o.stopped_apps_first) for o in reporting if not o.is_worker
+    ]
+    return StoppedAppsResult(
+        comparison=compare_feature("stopped_apps", worker_counts, regular_counts),
+        worker_counts=sorted(worker_counts),
+        regular_counts=sorted(regular_counts),
+    )

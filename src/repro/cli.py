@@ -1,0 +1,243 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``simulate``    run a study and print the cohort/dataset summary
+``experiment``  regenerate one paper table/figure (``--list`` to enumerate)
+``report``      regenerate every table/figure
+``train``       train the app+device detectors and export them to JSON
+``classify``    load exported detectors and scan a fresh simulated cohort
+``dashboard``   print the internal dashboard overview + validation issues
+``findings``    check every §6-§8 paper finding against a fresh run
+``export-figures``  write the raw series behind each figure as CSV
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .core.model_io import export_detector, import_detector
+from .core.observations import build_observations
+from .core.ondevice import OnDeviceDetector
+from .experiments import EXPERIMENTS, Workbench, run_experiment
+from .platform.dashboard import Dashboard
+from .reporting import render_table
+from .simulation import SimulationConfig, run_study
+
+__all__ = ["main", "build_parser"]
+
+_SCALES = ("small", "default", "paper")
+
+
+def _config_for(scale: str, seed: int | None) -> SimulationConfig:
+    config = {
+        "small": SimulationConfig.small(),
+        "default": SimulationConfig(),
+        "paper": SimulationConfig.paper_scale(),
+    }[scale]
+    if seed is not None:
+        config = config.scaled(seed=seed)
+    return config
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="RacketStore (IMC 2021) reproduction toolkit",
+    )
+    parser.add_argument("--scale", choices=_SCALES, default="small",
+                        help="cohort scale (default: small)")
+    parser.add_argument("--seed", type=int, default=None, help="override the RNG seed")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("simulate", help="run a study and summarise the dataset")
+
+    experiment = sub.add_parser("experiment", help="regenerate one table/figure")
+    experiment.add_argument("experiment_id", nargs="?", help="e.g. table1, fig07")
+    experiment.add_argument("--list", action="store_true", help="list experiment ids")
+
+    sub.add_parser("report", help="regenerate every table and figure")
+
+    train = sub.add_parser("train", help="train detectors and export JSON models")
+    train.add_argument("--out", default="detectors.json", help="output path")
+
+    classify = sub.add_parser("classify", help="scan a fresh cohort with exported models")
+    classify.add_argument("--models", default="detectors.json", help="exported models path")
+
+    sub.add_parser("dashboard", help="print the data-collection dashboard")
+
+    sub.add_parser("findings", help="check every §6-§8 paper finding")
+
+    export = sub.add_parser(
+        "export-figures", help="write the raw series behind each figure as CSV"
+    )
+    export.add_argument("--out", default="figure_data", help="output directory")
+
+    write_exp = sub.add_parser(
+        "write-experiments", help="regenerate EXPERIMENTS.md from a fresh run"
+    )
+    write_exp.add_argument("--out", default="EXPERIMENTS.md", help="output path")
+    return parser
+
+
+def _cmd_simulate(args) -> int:
+    data = run_study(_config_for(args.scale, args.seed))
+    eligible = data.eligible_participants(min_days=2)
+    workers = [p for p in eligible if p.is_worker]
+    print(
+        render_table(
+            ["metric", "value"],
+            [
+                ("participants", len(data.participants)),
+                ("unique devices (fingerprinted)", len(data.server.unique_devices())),
+                ("eligible devices (>=2 days)", len(eligible)),
+                ("worker devices", len(workers)),
+                ("regular devices", len(eligible) - len(workers)),
+                ("snapshot records ingested", data.server.stats.records_inserted),
+                ("reviews crawled", data.review_crawler.collected_total()),
+                ("campaigns on the board", len(data.board.campaigns())),
+                ("participant payout (USD)", round(data.server.total_payout_usd(), 2)),
+            ],
+        )
+    )
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    if args.list or not args.experiment_id:
+        for experiment_id in EXPERIMENTS:
+            print(experiment_id)
+        return 0
+    workbench = Workbench(_config_for(args.scale, args.seed))
+    print(run_experiment(args.experiment_id, workbench).render())
+    return 0
+
+
+def _cmd_report(args) -> int:
+    workbench = Workbench(_config_for(args.scale, args.seed))
+    for experiment_id in EXPERIMENTS:
+        print(run_experiment(experiment_id, workbench).render())
+        print()
+    return 0
+
+
+def _cmd_train(args) -> int:
+    workbench = Workbench(_config_for(args.scale, args.seed))
+    result = workbench.pipeline_result
+    payload = (
+        '{"app": '
+        + export_detector(result.app_model)
+        + ', "device": '
+        + export_detector(result.device_model)
+        + "}"
+    )
+    with open(args.out, "w") as handle:
+        handle.write(payload)
+    print(f"wrote app + device detectors to {args.out}")
+    rows = result.device_evaluation.table_rows()
+    print(render_table(["algorithm", "precision", "recall", "F1"], rows[:1]))
+    return 0
+
+
+def _cmd_classify(args) -> int:
+    import json
+
+    with open(args.models) as handle:
+        payload = json.load(handle)
+    app_model = import_detector(json.dumps(payload["app"]))
+    device_model = import_detector(json.dumps(payload["device"]))
+    detector = OnDeviceDetector(app_model, device_model)
+
+    data = run_study(_config_for(args.scale, args.seed))
+    observations = build_observations(data, data.eligible_participants(min_days=2))
+    correct = 0
+    flagged = 0
+    for obs in observations:
+        report = detector.scan(obs, data.catalog, data.vt_client)
+        flagged += report.device_flagged
+        correct += report.device_flagged == obs.is_worker
+    print(
+        f"scanned {len(observations)} devices: {flagged} flagged, "
+        f"accuracy vs ground truth {correct / len(observations):.1%}"
+    )
+    return 0
+
+
+def _cmd_dashboard(args) -> int:
+    data = run_study(_config_for(args.scale, args.seed))
+    dashboard = Dashboard(data.server)
+    overview = dashboard.overview()
+    print(render_table(["metric", "value"], sorted(overview.items())))
+    issues = dashboard.validate()
+    print(f"validation issues: {len(issues)}")
+    for issue in issues[:10]:
+        print(f"  [{issue.install_id}] {issue.check}: {issue.detail}")
+    lagging = dashboard.lagging_installs()
+    print(f"installs below 100 snapshots/day: {len(lagging)}")
+    return 0
+
+
+def _cmd_findings(args) -> int:
+    from .experiments.findings import check_findings
+
+    workbench = Workbench(_config_for(args.scale, args.seed))
+    results = check_findings(workbench)
+    print(
+        render_table(
+            ["id", "section", "status", "measured"],
+            [r.row() for r in results],
+        )
+    )
+    holding = sum(r.holds for r in results)
+    print(f"{holding}/{len(results)} paper findings hold on this run")
+    return 0 if holding == len(results) else 1
+
+
+def _cmd_write_experiments(args) -> int:
+    from .experiments.report_writer import generate_experiments_md
+
+    workbench = Workbench(_config_for(args.scale, args.seed))
+    generate_experiments_md(workbench, args.out)
+    print(f"wrote {args.out}")
+    return 0
+
+
+def _cmd_export_figures(args) -> int:
+    from .reporting.series import export_figure_data
+
+    workbench = Workbench(_config_for(args.scale, args.seed))
+    written = export_figure_data(workbench, args.out)
+    print(
+        render_table(
+            ["figure", "rows"], sorted(written.items())
+        )
+    )
+    print(f"wrote {len(written)} CSV files to {args.out}/")
+    return 0
+
+
+_COMMANDS = {
+    "simulate": _cmd_simulate,
+    "experiment": _cmd_experiment,
+    "report": _cmd_report,
+    "train": _cmd_train,
+    "classify": _cmd_classify,
+    "dashboard": _cmd_dashboard,
+    "findings": _cmd_findings,
+    "export-figures": _cmd_export_figures,
+    "write-experiments": _cmd_write_experiments,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except KeyError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

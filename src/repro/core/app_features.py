@@ -1,0 +1,178 @@
+"""App usage features (§7.1): one vector per (app, device) instance.
+
+The eleven feature groups from the paper, in order:
+
+1.  accounts on the device that reviewed the app before / while / after
+    RacketStore was installed;
+2.  install-to-review time statistics;
+3.  inter-review time statistics (gaps between consecutive reviews for
+    the app from device accounts);
+4.  whether the app was opened on multiple days;
+5.  snapshots per day with the app on screen;
+6.  snapshots collected per day from the device;
+7.  inner retention — how long the app stayed installed during the
+    study, and whether it spanned the whole observation window;
+8.  normal / dangerous permissions requested;
+9.  permissions granted / denied by the user;
+10. VirusTotal flag count for the app's apk hash;
+11. install and uninstall events during the study.
+
+Review-timing features for apps the device's accounts never reviewed
+use the ``NEVER_REVIEWED_SENTINEL_DAYS`` sentinel: a missing review is
+semantically an install-to-review wait longer than the observation
+horizon, not a missing value — this is what lets the classifier treat
+"installed but never reviewed" as the personal-use signature (Fig 13).
+Other undefined features are NaN and are median-imputed downstream.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..playstore.catalog import Catalog
+from ..simulation.clock import SECONDS_PER_DAY
+from ..virustotal.client import VirusTotalClient
+from .observations import DeviceObservation
+
+#: Stand-in wait (days) when no review from the device exists: far past
+#: the longest wait the paper observed (606 days).
+NEVER_REVIEWED_SENTINEL_DAYS = 999.0
+
+__all__ = ["APP_FEATURE_NAMES", "NEVER_REVIEWED_SENTINEL_DAYS", "extract_app_features", "app_feature_vector"]
+
+APP_FEATURE_NAMES: tuple[str, ...] = (
+    "accounts_reviewed_before",      # (1)
+    "accounts_reviewed_during",
+    "accounts_reviewed_after",
+    "accounts_reviewed_total",
+    "install_to_review_mean_days",   # (2)
+    "install_to_review_min_days",
+    "inter_review_mean_days",        # (3)
+    "inter_review_min_days",
+    "opened_multiple_days",          # (4)
+    "onscreen_snapshots_per_day",    # (5)
+    "device_snapshots_per_day",      # (6)
+    "inner_retention_days",          # (7)
+    "spans_study_window",
+    "n_normal_permissions",          # (8)
+    "n_dangerous_permissions",
+    "n_permissions_granted",         # (9)
+    "n_permissions_denied",
+    "vt_flags",                      # (10)
+    "n_install_events",              # (11)
+    "n_uninstall_events",
+)
+
+
+def _mean_or_sentinel(values: list[float]) -> float:
+    return float(np.mean(values)) if values else NEVER_REVIEWED_SENTINEL_DAYS
+
+
+def _min_or_sentinel(values: list[float]) -> float:
+    return float(min(values)) if values else NEVER_REVIEWED_SENTINEL_DAYS
+
+
+def extract_app_features(
+    obs: DeviceObservation,
+    package: str,
+    catalog: Catalog,
+    vt_client: VirusTotalClient | None = None,
+) -> dict[str, float]:
+    """Feature dict for one (app, device) instance."""
+    reviews = obs.reviews_for_app(package)
+    start, end = obs.installed_at, obs.uninstalled_at
+
+    before = {r.google_id for r in reviews if r.timestamp < start}
+    during = {r.google_id for r in reviews if start <= r.timestamp <= end}
+    after = {r.google_id for r in reviews if r.timestamp > end}
+
+    # (2) install-to-review.
+    i2r = obs.install_to_review_days(package)
+
+    # (3) inter-review gaps.
+    timestamps = sorted(r.timestamp for r in reviews)
+    gaps = [
+        (b - a) / SECONDS_PER_DAY for a, b in zip(timestamps, timestamps[1:])
+    ]
+
+    # (4)/(5) usage.
+    days_used = obs.foreground_days.get(package, set())
+    onscreen = obs.foreground_snapshots.get(package, 0)
+
+    # (7) inner retention: overlap of the app's installed interval with
+    # the RacketStore observation window.
+    install_time = obs.install_times.get(package)
+    uninstall_events = [
+        e["timestamp"]
+        for e in obs.app_changes
+        if e["action"] == "uninstall" and e["package"] == package
+    ]
+    if install_time is None:
+        retention_days = math.nan
+        spans_window = 0.0
+    else:
+        seen_from = max(install_time, start)
+        seen_to = min(uninstall_events[-1], end) if uninstall_events else end
+        retention_days = max(0.0, (seen_to - seen_from) / SECONDS_PER_DAY)
+        spans_window = float(install_time <= start and not uninstall_events)
+
+    # (8)/(9) permissions: requested from the Play listing, granted and
+    # denied from the device-side records.
+    if package in catalog:
+        profile = catalog.get(package).permissions
+        n_normal, n_dangerous = len(profile.normal), len(profile.dangerous)
+    else:
+        n_normal = n_dangerous = 0
+    granted = denied = 0
+    for app_info in obs.initial_apps:
+        if app_info["package"] == package:
+            granted, denied = app_info["n_granted"], app_info["n_denied"]
+            break
+    else:
+        for event in obs.app_changes:
+            if event["action"] == "install" and event["package"] == package:
+                granted, denied = event.get("n_granted", 0), event.get("n_denied", 0)
+
+    # (10) VirusTotal flags.
+    apk_hash = obs.apk_hashes.get(package)
+    vt_flags = (
+        float(vt_client.positives(apk_hash))
+        if vt_client is not None and apk_hash
+        else 0.0
+    )
+
+    return {
+        "accounts_reviewed_before": float(len(before)),
+        "accounts_reviewed_during": float(len(during)),
+        "accounts_reviewed_after": float(len(after)),
+        "accounts_reviewed_total": float(len(before | during | after)),
+        "install_to_review_mean_days": _mean_or_sentinel(i2r),
+        "install_to_review_min_days": _min_or_sentinel(i2r),
+        "inter_review_mean_days": _mean_or_sentinel(gaps),
+        "inter_review_min_days": _min_or_sentinel(gaps),
+        "opened_multiple_days": float(len(days_used) > 1),
+        "onscreen_snapshots_per_day": onscreen / max(obs.active_days, 1),
+        "device_snapshots_per_day": obs.snapshots_per_day,
+        "inner_retention_days": retention_days,
+        "spans_study_window": spans_window,
+        "n_normal_permissions": float(n_normal),
+        "n_dangerous_permissions": float(n_dangerous),
+        "n_permissions_granted": float(granted),
+        "n_permissions_denied": float(denied),
+        "vt_flags": vt_flags,
+        "n_install_events": float(obs.install_event_counts.get(package, 0)),
+        "n_uninstall_events": float(obs.uninstall_event_counts.get(package, 0)),
+    }
+
+
+def app_feature_vector(
+    obs: DeviceObservation,
+    package: str,
+    catalog: Catalog,
+    vt_client: VirusTotalClient | None = None,
+) -> np.ndarray:
+    """Feature dict flattened into the canonical APP_FEATURE_NAMES order."""
+    features = extract_app_features(obs, package, catalog, vt_client)
+    return np.array([features[name] for name in APP_FEATURE_NAMES], dtype=np.float64)

@@ -1,0 +1,152 @@
+"""Dataset assembly for the app (§7.2) and device (§8.2) classifiers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..ml.preprocessing import SimpleImputer
+from ..simulation.world import StudyData
+from .app_features import APP_FEATURE_NAMES, app_feature_vector
+from .device_features import DEVICE_FEATURE_NAMES, device_feature_vector
+from .labeling import LabelingConfig, LabelingResult, label_apps
+from .observations import DeviceObservation, build_observations
+
+__all__ = [
+    "AppInstance",
+    "AppDataset",
+    "DeviceDataset",
+    "build_app_dataset",
+    "build_device_dataset",
+]
+
+
+@dataclass(frozen=True)
+class AppInstance:
+    """Provenance of one row of the app-usage dataset."""
+
+    package: str
+    install_id: str
+    is_worker_device: bool
+    label: int  # 1 = promotion usage, 0 = personal usage
+
+
+@dataclass
+class AppDataset:
+    """The §7.2 train-and-validate app-usage dataset."""
+
+    X: np.ndarray
+    y: np.ndarray
+    feature_names: tuple[str, ...]
+    instances: list[AppInstance]
+    labeling: LabelingResult
+
+    @property
+    def n_suspicious(self) -> int:
+        return int(np.sum(self.y == 1))
+
+    @property
+    def n_regular(self) -> int:
+        return int(np.sum(self.y == 0))
+
+
+@dataclass
+class DeviceDataset:
+    """The §8.2 device-usage dataset."""
+
+    X: np.ndarray
+    y: np.ndarray
+    feature_names: tuple[str, ...]
+    observations: list[DeviceObservation]
+
+    @property
+    def n_worker(self) -> int:
+        return int(np.sum(self.y == 1))
+
+    @property
+    def n_regular(self) -> int:
+        return int(np.sum(self.y == 0))
+
+
+def build_app_dataset(
+    data: StudyData,
+    observations: list[DeviceObservation] | None = None,
+    labeling_config: LabelingConfig | None = None,
+    impute: bool = True,
+) -> AppDataset:
+    """Label apps via §7.2 rules, then extract one instance per
+    (labeled app, held-out device carrying it)."""
+    if observations is None:
+        observations = build_observations(
+            data, data.eligible_participants(min_days=2)
+        )
+    labeling = label_apps(data, observations, labeling_config)
+
+    rows: list[np.ndarray] = []
+    labels: list[int] = []
+    instances: list[AppInstance] = []
+    for obs, label_set, label in (
+        *((o, labeling.suspicious_apps, 1) for o in labeling.holdout_worker),
+        *((o, labeling.regular_apps, 0) for o in labeling.holdout_regular),
+    ):
+        for package in sorted(obs.observed_packages & label_set):
+            rows.append(
+                app_feature_vector(obs, package, data.catalog, data.vt_client)
+            )
+            labels.append(label)
+            instances.append(
+                AppInstance(
+                    package=package,
+                    install_id=obs.install_id,
+                    is_worker_device=obs.is_worker,
+                    label=label,
+                )
+            )
+
+    if not rows:
+        raise ValueError(
+            "labeling produced no instances — cohort too small or labeling "
+            "thresholds too strict for this simulation scale"
+        )
+    X = np.vstack(rows)
+    if impute:
+        X = SimpleImputer(strategy="median").fit_transform(X)
+    return AppDataset(
+        X=X,
+        y=np.asarray(labels, dtype=np.int64),
+        feature_names=APP_FEATURE_NAMES,
+        instances=instances,
+        labeling=labeling,
+    )
+
+
+def build_device_dataset(
+    data: StudyData,
+    observations: list[DeviceObservation] | None = None,
+    suspiciousness: dict[str, float] | None = None,
+    impute: bool = True,
+) -> DeviceDataset:
+    """One row per eligible device; label 1 = worker-controlled.
+
+    ``suspiciousness`` maps install_id -> fraction of installed apps the
+    app classifier flagged (feature (2) of §8.1); omitted entries are NaN.
+    """
+    if observations is None:
+        observations = build_observations(
+            data, data.eligible_participants(min_days=2)
+        )
+    suspiciousness = suspiciousness or {}
+    rows = [
+        device_feature_vector(obs, suspiciousness.get(obs.install_id))
+        for obs in observations
+    ]
+    X = np.vstack(rows)
+    if impute:
+        X = SimpleImputer(strategy="median").fit_transform(X)
+    return DeviceDataset(
+        X=X,
+        y=np.asarray([int(o.is_worker) for o in observations], dtype=np.int64),
+        feature_names=DEVICE_FEATURE_NAMES,
+        observations=observations,
+    )

@@ -1,0 +1,86 @@
+"""Device usage features (§8.1): one vector per device.
+
+The seven feature groups from the paper:
+
+1. pre-installed and user-installed app counts;
+2. *app suspiciousness* — fraction of installed apps flagged by the §7
+   app classifier (supplied by the pipeline; NaN when unavailable);
+3. stopped apps;
+4. average daily installs and uninstalls;
+5. Gmail / non-Gmail account counts and distinct account types;
+6. installed apps reviewed from device accounts;
+7. total apps reviewed from device accounts.
+
+Plus the derived "average reviews per registered account", which
+Figure 14 shows among the top-4 most important device features.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from .observations import DeviceObservation
+
+__all__ = ["DEVICE_FEATURE_NAMES", "extract_device_features", "device_feature_vector"]
+
+DEVICE_FEATURE_NAMES: tuple[str, ...] = (
+    "n_preinstalled_apps",        # (1)
+    "n_user_installed_apps",
+    "app_suspiciousness",         # (2)
+    "n_stopped_apps",             # (3)
+    "daily_installs",             # (4)
+    "daily_uninstalls",
+    "n_gmail_accounts",           # (5)
+    "n_non_gmail_accounts",
+    "n_account_types",
+    "n_installed_and_reviewed",   # (6)
+    "total_apps_reviewed",        # (7)
+    "total_reviews",
+    "reviews_per_account_mean",
+    "apps_used_per_day",
+    "snapshots_per_day",
+)
+
+
+def extract_device_features(
+    obs: DeviceObservation,
+    app_suspiciousness: float | None = None,
+) -> dict[str, float]:
+    """Feature dict for one device.
+
+    ``app_suspiciousness`` is the fraction of the device's installed apps
+    the app classifier flagged as promotion-installed; pass ``None``
+    (→ NaN, imputed downstream) when the app classifier has not run.
+    """
+    n_accounts = max(obs.n_gmail_accounts, 1)
+    return {
+        "n_preinstalled_apps": float(obs.n_preinstalled),
+        "n_user_installed_apps": float(obs.n_user_installed),
+        "app_suspiciousness": (
+            float(app_suspiciousness) if app_suspiciousness is not None else math.nan
+        ),
+        "n_stopped_apps": float(len(obs.stopped_apps_first)),
+        "daily_installs": obs.daily_installs,
+        "daily_uninstalls": obs.daily_uninstalls,
+        "n_gmail_accounts": float(obs.n_gmail_accounts),
+        "n_non_gmail_accounts": float(obs.n_non_gmail_accounts),
+        "n_account_types": float(obs.n_account_types),
+        "n_installed_and_reviewed": float(obs.n_installed_and_reviewed),
+        "total_apps_reviewed": float(obs.apps_reviewed_total),
+        "total_reviews": float(obs.total_account_reviews),
+        "reviews_per_account_mean": obs.total_account_reviews / n_accounts,
+        "apps_used_per_day": obs.apps_used_per_day,
+        "snapshots_per_day": obs.snapshots_per_day,
+    }
+
+
+def device_feature_vector(
+    obs: DeviceObservation,
+    app_suspiciousness: float | None = None,
+) -> np.ndarray:
+    features = extract_device_features(obs, app_suspiciousness)
+    return np.array(
+        [features[name] for name in DEVICE_FEATURE_NAMES], dtype=np.float64
+    )

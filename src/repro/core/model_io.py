@@ -1,0 +1,128 @@
+"""Model serialization: export trained detectors to JSON and back.
+
+§9 proposes shipping pre-trained models inside pre-installed store
+clients; that requires a portable, dependency-free model format.  The
+boosted trees serialise to a nested-dict JSON document (feature index,
+threshold, children, leaf weight) plus the imputer statistics, so a
+deployed client can score without this library's training code.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+
+from ..ml.gradient_boosting import GradientBoostingClassifier, _BoostNode, _BoostTree
+from ..ml.preprocessing import SimpleImputer
+from .app_classifier import AppClassifier
+from .device_classifier import DeviceClassifier
+
+__all__ = [
+    "export_boosted_model",
+    "import_boosted_model",
+    "export_detector",
+    "import_detector",
+]
+
+FORMAT_VERSION = 1
+
+
+def _node_to_dict(node: _BoostNode) -> dict:
+    if node.is_leaf:
+        return {"leaf": node.weight}
+    return {
+        "feature": node.feature,
+        "threshold": node.threshold,
+        "left": _node_to_dict(node.left),
+        "right": _node_to_dict(node.right),
+    }
+
+
+def _node_from_dict(payload: dict) -> _BoostNode:
+    if "leaf" in payload:
+        return _BoostNode(weight=float(payload["leaf"]))
+    return _BoostNode(
+        weight=0.0,
+        feature=int(payload["feature"]),
+        threshold=float(payload["threshold"]),
+        left=_node_from_dict(payload["left"]),
+        right=_node_from_dict(payload["right"]),
+    )
+
+
+def export_boosted_model(model: GradientBoostingClassifier) -> dict:
+    """Serialise a fitted booster to a JSON-compatible dict."""
+    if not hasattr(model, "trees_"):
+        raise ValueError("model is not fitted")
+    return {
+        "format_version": FORMAT_VERSION,
+        "type": "gradient_boosting",
+        "learning_rate": model.learning_rate,
+        "base_margin": model.base_margin_,
+        "classes": [int(c) for c in model.classes_],
+        "n_features": model.trees_[0].n_features_ if model.trees_ else 0,
+        "trees": [_node_to_dict(tree.root_) for tree in model.trees_],
+    }
+
+
+def import_boosted_model(payload: dict) -> GradientBoostingClassifier:
+    """Reconstruct a scoring-capable booster from its JSON form."""
+    if payload.get("type") != "gradient_boosting":
+        raise ValueError(f"not a boosted model payload: {payload.get('type')!r}")
+    if payload.get("format_version") != FORMAT_VERSION:
+        raise ValueError(f"unsupported format version {payload.get('format_version')!r}")
+    model = GradientBoostingClassifier(learning_rate=payload["learning_rate"])
+    model.base_margin_ = float(payload["base_margin"])
+    model.classes_ = np.asarray(payload["classes"])
+    model._constant_class = len(model.classes_) == 1
+    model.trees_ = []
+    for tree_payload in payload["trees"]:
+        tree = _BoostTree(
+            max_depth=0, min_child_weight=0.0, reg_lambda=0.0, gamma=0.0,
+            colsample=1.0, rng=np.random.default_rng(0),
+        )
+        tree.n_features_ = int(payload["n_features"])
+        tree.root_ = _node_from_dict(tree_payload)
+        model.trees_.append(tree)
+    return model
+
+
+def _imputer_to_dict(imputer: SimpleImputer) -> dict:
+    return {
+        "strategy": imputer.strategy,
+        "fill_value": imputer.fill_value,
+        "statistics": [float(v) for v in imputer.statistics_],
+    }
+
+
+def _imputer_from_dict(payload: dict) -> SimpleImputer:
+    imputer = SimpleImputer(strategy=payload["strategy"], fill_value=payload["fill_value"])
+    imputer.statistics_ = np.asarray(payload["statistics"], dtype=np.float64)
+    return imputer
+
+
+def export_detector(detector: AppClassifier | DeviceClassifier) -> str:
+    """Serialise a fitted app/device detector (imputer + booster) to JSON."""
+    kind = "app" if isinstance(detector, AppClassifier) else "device"
+    payload = {
+        "format_version": FORMAT_VERSION,
+        "detector": kind,
+        "feature_names": list(detector.feature_names),
+        "imputer": _imputer_to_dict(detector._imputer),
+        "model": export_boosted_model(detector._model),
+    }
+    return json.dumps(payload)
+
+
+def import_detector(text: str) -> AppClassifier | DeviceClassifier:
+    """Reconstruct a detector exported with :func:`export_detector`."""
+    payload = json.loads(text)
+    if payload.get("format_version") != FORMAT_VERSION:
+        raise ValueError("unsupported detector format version")
+    detector: AppClassifier | DeviceClassifier
+    detector = AppClassifier() if payload["detector"] == "app" else DeviceClassifier()
+    detector.feature_names = tuple(payload["feature_names"])
+    detector._imputer = _imputer_from_dict(payload["imputer"])
+    detector._model = import_boosted_model(payload["model"])
+    return detector

@@ -1,0 +1,349 @@
+"""Device observations: the analysis-facing view of collected data.
+
+Everything in §6-§8 is computed from what RacketStore *collected* — the
+snapshot records ingested by the server, the Play reviews fetched by the
+review crawler, and the Gmail→Google-ID mappings from the ID crawler —
+never from simulator ground truth.  :class:`DeviceObservation` bundles
+those sources for one participant device and exposes the derived
+quantities the measurements and feature extractors need.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from functools import cached_property
+
+from ..playstore.reviews import Review
+from ..simulation.clock import SECONDS_PER_DAY
+from ..simulation.world import Participant, StudyData
+
+__all__ = ["DeviceObservation", "build_observations"]
+
+
+@dataclass
+class DeviceObservation:
+    """All collected data for one device, with derived accessors."""
+
+    participant: Participant
+    install_id: str
+    initial: dict | None
+    slow_runs: list[dict]
+    fast_runs: list[dict]
+    app_changes: list[dict]
+    #: Google IDs of the Gmail accounts seen in slow snapshots, resolved
+    #: through the ID crawler (§5).
+    google_ids: frozenset[str]
+    #: package -> time-ordered reviews from this device's accounts.
+    device_reviews: dict[str, list[Review]] = field(default_factory=dict)
+    #: every review posted by this device's accounts (any app).
+    all_account_reviews: list[Review] = field(default_factory=list)
+
+    # -- study window -----------------------------------------------------
+    @property
+    def installed_at(self) -> float:
+        return self.participant.app.installed_at or 0.0
+
+    @property
+    def uninstalled_at(self) -> float:
+        if self.participant.app.uninstalled_at is not None:
+            return self.participant.app.uninstalled_at
+        return (
+            self.participant.enrolled_day + self.participant.active_days
+        ) * SECONDS_PER_DAY
+
+    @property
+    def active_days(self) -> int:
+        if self._active_days_override is not None:
+            return self._active_days_override
+        return self.participant.active_days
+
+    @property
+    def is_worker(self) -> bool:
+        """Ground-truth cohort label (used only for training/eval)."""
+        return self.participant.is_worker
+
+    # -- accounts (from slow snapshots) ------------------------------------
+    @cached_property
+    def reported_accounts(self) -> tuple[tuple[str, str], ...]:
+        """Accounts from the latest slow run that carried the permission."""
+        for run in reversed(self.slow_runs):
+            if run.get("accounts_permission", True) and run["accounts"]:
+                return tuple(tuple(pair) for pair in run["accounts"])
+        return ()
+
+    @property
+    def reported_account_data(self) -> bool:
+        """Whether GET_ACCOUNTS data ever arrived for this device."""
+        return any(run.get("accounts_permission", True) for run in self.slow_runs)
+
+    @cached_property
+    def gmail_addresses(self) -> tuple[str, ...]:
+        return tuple(
+            identifier
+            for service, identifier in self.reported_accounts
+            if service == "com.google"
+        )
+
+    @property
+    def n_gmail_accounts(self) -> int:
+        return len(self.gmail_addresses)
+
+    @property
+    def n_non_gmail_accounts(self) -> int:
+        return len(self.reported_accounts) - self.n_gmail_accounts
+
+    @property
+    def n_account_types(self) -> int:
+        return len({service for service, _ in self.reported_accounts})
+
+    # -- installed apps (from initial snapshot + change events) ------------
+    @cached_property
+    def initial_apps(self) -> list[dict]:
+        if not self.initial:
+            return []
+        return list(self.initial["installed_apps"])
+
+    @cached_property
+    def initial_packages(self) -> frozenset[str]:
+        return frozenset(a["package"] for a in self.initial_apps)
+
+    @property
+    def n_installed_apps(self) -> int:
+        return len(self.initial_apps)
+
+    @property
+    def n_preinstalled(self) -> int:
+        return sum(1 for a in self.initial_apps if a["preinstalled"])
+
+    @property
+    def n_user_installed(self) -> int:
+        return self.n_installed_apps - self.n_preinstalled
+
+    @cached_property
+    def stopped_apps_first(self) -> tuple[str, ...]:
+        """Stopped-app list from the first slow snapshot (enrollment state)."""
+        for run in self.slow_runs:
+            return tuple(run["stopped_apps"])
+        return ()
+
+    @cached_property
+    def install_times(self) -> dict[str, float]:
+        """package -> last known Android install time (initial snapshot,
+        overridden by any install events during the study)."""
+        times = {a["package"]: a["install_time"] for a in self.initial_apps}
+        for event in self.app_changes:
+            if event["action"] == "install" and event.get("install_time") is not None:
+                times[event["package"]] = event["install_time"]
+        return times
+
+    @cached_property
+    def apk_hashes(self) -> dict[str, str]:
+        hashes = {
+            a["package"]: a["apk_hash"] for a in self.initial_apps if a["apk_hash"]
+        }
+        for event in self.app_changes:
+            if event["action"] == "install" and event.get("apk_hash"):
+                hashes[event["package"]] = event["apk_hash"]
+        return hashes
+
+    @cached_property
+    def observed_packages(self) -> frozenset[str]:
+        """Every package seen installed at any point during the study."""
+        packages = set(self.initial_packages)
+        packages.update(
+            e["package"] for e in self.app_changes if e["action"] == "install"
+        )
+        return frozenset(packages)
+
+    @cached_property
+    def install_event_counts(self) -> dict[str, int]:
+        counts: dict[str, int] = defaultdict(int)
+        for event in self.app_changes:
+            if event["action"] == "install":
+                counts[event["package"]] += 1
+        return dict(counts)
+
+    @cached_property
+    def uninstall_event_counts(self) -> dict[str, int]:
+        counts: dict[str, int] = defaultdict(int)
+        for event in self.app_changes:
+            if event["action"] == "uninstall":
+                counts[event["package"]] += 1
+        return dict(counts)
+
+    @property
+    def daily_installs(self) -> float:
+        return sum(self.install_event_counts.values()) / max(self.active_days, 1)
+
+    @property
+    def daily_uninstalls(self) -> float:
+        return sum(self.uninstall_event_counts.values()) / max(self.active_days, 1)
+
+    # -- usage (from fast snapshots) ------------------------------------------
+    @cached_property
+    def foreground_days(self) -> dict[str, set[int]]:
+        """package -> set of day indexes on which it held the foreground."""
+        out: dict[str, set[int]] = defaultdict(set)
+        for run in self.fast_runs:
+            package = run["foreground"]
+            if package is None:
+                continue
+            first = int(run["start"] // SECONDS_PER_DAY)
+            last = int(run["end"] // SECONDS_PER_DAY)
+            for day in range(first, last + 1):
+                out[package].add(day)
+        return dict(out)
+
+    @cached_property
+    def foreground_snapshots(self) -> dict[str, int]:
+        """package -> total number of fast snapshots with it on screen."""
+        out: dict[str, int] = defaultdict(int)
+        for run in self.fast_runs:
+            package = run["foreground"]
+            if package is None:
+                continue
+            out[package] += 1 + int((run["end"] - run["start"]) // run["period"])
+        return dict(out)
+
+    @property
+    def apps_used_per_day(self) -> float:
+        if not self.foreground_days:
+            return 0.0
+        day_sets: dict[int, set[str]] = defaultdict(set)
+        for package, day_indexes in self.foreground_days.items():
+            for day in day_indexes:
+                day_sets[day].add(package)
+        if not day_sets:
+            return 0.0
+        return sum(len(s) for s in day_sets.values()) / max(self.active_days, 1)
+
+    @cached_property
+    def total_snapshots(self) -> int:
+        total = 0
+        for run in self.fast_runs:
+            total += 1 + int((run["end"] - run["start"]) // run["period"])
+        for run in self.slow_runs:
+            total += 1 + int((run["end"] - run["start"]) // run["period"])
+        return total
+
+    @property
+    def snapshots_per_day(self) -> float:
+        return self.total_snapshots / max(self.active_days, 1)
+
+    # -- reviews (from crawlers) ----------------------------------------------
+    def reviews_for_app(self, package: str) -> list[Review]:
+        """Reviews for ``package`` from accounts on this device."""
+        return self.device_reviews.get(package, [])
+
+    @property
+    def apps_reviewed_total(self) -> int:
+        """Distinct apps reviewed from the device's accounts (Fig 6 right
+        counts reviews; this counts apps — both are exposed)."""
+        return len({r.app_package for r in self.all_account_reviews})
+
+    @property
+    def total_account_reviews(self) -> int:
+        return len(self.all_account_reviews)
+
+    @property
+    def n_installed_and_reviewed(self) -> int:
+        """Apps currently installed that were reviewed from the device."""
+        return sum(
+            1 for package in self.initial_packages if self.device_reviews.get(package)
+        )
+
+    def truncated(self, days: float) -> "DeviceObservation":
+        """A copy of this observation limited to the first ``days`` of
+        the study window — used to ask how much telemetry the detector
+        needs (the paper keeps only devices with >= 2 days of snapshots).
+
+        Reviews are not truncated: the Play-side review history is
+        available regardless of how long RacketStore ran.
+        """
+        cutoff = self.installed_at + days * SECONDS_PER_DAY
+        clipped = DeviceObservation(
+            participant=self.participant,
+            install_id=self.install_id,
+            initial=self.initial,
+            slow_runs=[
+                {**run, "end": min(run["end"], cutoff)}
+                for run in self.slow_runs
+                if run["start"] < cutoff
+            ],
+            fast_runs=[
+                {**run, "end": min(run["end"], cutoff)}
+                for run in self.fast_runs
+                if run["start"] < cutoff
+            ],
+            app_changes=[
+                event for event in self.app_changes if event["timestamp"] < cutoff
+            ],
+            google_ids=self.google_ids,
+            device_reviews=self.device_reviews,
+            all_account_reviews=self.all_account_reviews,
+        )
+        clipped._active_days_override = max(1, int(min(days, self.active_days)))
+        return clipped
+
+    _active_days_override: int | None = None
+
+    def install_to_review_days(self, package: str) -> list[float]:
+        """Positive install-to-review intervals for one app (§6.3: reviews
+        predating the last install are discarded)."""
+        install_time = self.install_times.get(package)
+        if install_time is None:
+            return []
+        return [
+            (review.timestamp - install_time) / SECONDS_PER_DAY
+            for review in self.reviews_for_app(package)
+            if review.timestamp > install_time
+        ]
+
+
+def build_observations(
+    data: StudyData, participants: list[Participant] | None = None
+) -> list[DeviceObservation]:
+    """Assemble observations for (by default) every participant.
+
+    Resolves Gmail addresses to Google IDs through the ID crawler and
+    joins the review store by Google ID, exactly like the paper's
+    backend (§5).
+    """
+    participants = participants if participants is not None else data.participants
+    observations: list[DeviceObservation] = []
+    for participant in participants:
+        install_id = participant.app.install_id
+        if install_id is None:
+            continue
+        slow_runs = data.server.slow_runs(install_id)
+        obs = DeviceObservation(
+            participant=participant,
+            install_id=install_id,
+            initial=data.server.initial_snapshot(install_id),
+            slow_runs=slow_runs,
+            fast_runs=data.server.fast_runs(install_id),
+            app_changes=data.server.app_changes(install_id),
+            google_ids=frozenset(),
+        )
+        # Resolve Gmail -> Google ID through the crawler.
+        ids = {
+            google_id
+            for email in obs.gmail_addresses
+            if (google_id := data.id_crawler.lookup(email)) is not None
+        }
+        obs.google_ids = frozenset(ids)
+        # Join reviews by Google ID (the §5 "reviews posted by accounts
+        # registered on participant devices" dataset).
+        per_app: dict[str, list[Review]] = defaultdict(list)
+        all_reviews: list[Review] = []
+        for google_id in ids:
+            for review in data.review_store.reviews_by_google_id(google_id):
+                per_app[review.app_package].append(review)
+                all_reviews.append(review)
+        obs.device_reviews = {
+            package: sorted(reviews) for package, reviews in per_app.items()
+        }
+        obs.all_account_reviews = sorted(all_reviews)
+        observations.append(obs)
+    return observations

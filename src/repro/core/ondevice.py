@@ -1,0 +1,96 @@
+"""Privacy-preserving on-device classification (§9).
+
+The paper proposes shipping the pre-trained models inside a
+pre-installed client (e.g. the Play Store app) so sensitive usage data
+never leaves the device: features are computed locally and only a
+boolean/aggregate *report* is emitted.  :class:`OnDeviceDetector`
+implements that contract — its report type contains no account
+identifiers, package names, or usage traces, and the raw feature
+matrices are discarded after scoring.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..playstore.catalog import Catalog
+from ..virustotal.client import VirusTotalClient
+from .app_classifier import AppClassifier
+from .app_features import app_feature_vector
+from .device_classifier import DeviceClassifier
+from .device_features import device_feature_vector
+from .observations import DeviceObservation
+
+__all__ = ["OnDeviceReport", "OnDeviceDetector"]
+
+
+@dataclass(frozen=True)
+class OnDeviceReport:
+    """The only thing that leaves the device.
+
+    Deliberately excludes every raw observable: no package names, no
+    account identifiers, no timestamps — just the aggregate verdict the
+    app store needs for enforcement.
+    """
+
+    n_apps_scanned: int
+    n_apps_flagged: int
+    app_suspiciousness: float
+    device_flagged: bool
+    worker_probability: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.app_suspiciousness <= 1.0:
+            raise ValueError("suspiciousness must be a fraction")
+
+
+class OnDeviceDetector:
+    """Pre-trained models executing locally on one device's data."""
+
+    def __init__(self, app_model: AppClassifier, device_model: DeviceClassifier) -> None:
+        self._app_model = app_model
+        self._device_model = device_model
+
+    def scan(
+        self,
+        obs: DeviceObservation,
+        catalog: Catalog,
+        vt_client: VirusTotalClient | None = None,
+    ) -> OnDeviceReport:
+        """Compute features locally, score, and emit only the report."""
+        packages = [
+            a["package"]
+            for a in obs.initial_apps
+            if not a["preinstalled"]
+            and a["package"] in catalog
+            and catalog.get(a["package"]).on_play_store
+        ]
+        if packages:
+            X = np.vstack(
+                [
+                    app_feature_vector(obs, package, catalog, vt_client)
+                    for package in packages
+                ]
+            )
+            flags = self._app_model.predict(X)
+            n_flagged = int(np.sum(flags == 1))
+            suspiciousness = n_flagged / len(packages)
+        else:
+            n_flagged = 0
+            suspiciousness = 0.0
+
+        x_device = device_feature_vector(obs, suspiciousness)
+        proba = self._device_model.predict_proba(x_device)[0]
+        classes = self._device_model._model.classes_
+        worker_col = int(np.nonzero(classes == 1)[0][0]) if 1 in classes else 0
+        p_worker = float(proba[worker_col])
+
+        return OnDeviceReport(
+            n_apps_scanned=len(packages),
+            n_apps_flagged=n_flagged,
+            app_suspiciousness=suspiciousness,
+            device_flagged=p_worker >= 0.5,
+            worker_probability=p_worker,
+        )

@@ -1,0 +1,202 @@
+"""End-to-end detection pipeline: observations → labels → classifiers.
+
+Ties §7 and §8 together the way the paper does: the app classifier is
+trained on the labeled held-out devices, then scores every installed app
+on every device to produce the *app suspiciousness* feature, which feeds
+the device classifier.  Figure 15's organic/promotion-dedicated split
+falls out of the per-device scores.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..simulation.world import StudyData
+from .app_classifier import AppClassifier, AppClassifierEvaluation, evaluate_app_algorithms
+from .app_features import app_feature_vector
+from .datasets import AppDataset, DeviceDataset, build_app_dataset, build_device_dataset
+from .device_classifier import (
+    DeviceClassifier,
+    DeviceClassifierEvaluation,
+    evaluate_device_algorithms,
+)
+from .device_features import device_feature_vector
+from .labeling import LabelingConfig
+from .observations import DeviceObservation, build_observations
+
+__all__ = ["DeviceVerdict", "PipelineResult", "DetectionPipeline"]
+
+
+@dataclass(frozen=True)
+class DeviceVerdict:
+    """Per-device pipeline output (Figure 15 plots these for workers)."""
+
+    install_id: str
+    predicted_worker: bool
+    worker_probability: float
+    app_suspiciousness: float
+    n_apps_scored: int
+    n_installed_and_reviewed: int
+    ground_truth_worker: bool
+
+    @property
+    def organic_indicative(self) -> bool:
+        """§8.2: at least one installed app predicted as personal use."""
+        return self.app_suspiciousness < 1.0
+
+
+@dataclass
+class PipelineResult:
+    """Everything the pipeline produced in one run."""
+
+    observations: list[DeviceObservation]
+    app_dataset: AppDataset
+    app_evaluation: AppClassifierEvaluation
+    app_model: AppClassifier
+    suspiciousness: dict[str, float]
+    device_dataset: DeviceDataset
+    device_evaluation: DeviceClassifierEvaluation
+    device_model: DeviceClassifier
+    verdicts: list[DeviceVerdict] = field(default_factory=list)
+
+    def worker_verdicts(self) -> list[DeviceVerdict]:
+        return [v for v in self.verdicts if v.ground_truth_worker]
+
+    def organic_split(self) -> tuple[int, int]:
+        """(organic-indicative, promotion-only) worker-device counts —
+        the Figure 15 partition."""
+        workers = self.worker_verdicts()
+        organic = sum(1 for v in workers if v.organic_indicative)
+        return organic, len(workers) - organic
+
+
+class DetectionPipeline:
+    """Configurable end-to-end run of the paper's detection system."""
+
+    def __init__(
+        self,
+        labeling: LabelingConfig | None = None,
+        app_cv_repeats: int = 1,
+        device_cv_repeats: int = 1,
+        n_splits: int = 10,
+        device_resample: str | None = "smote",
+        app_resample: str | None = None,
+        random_state: int = 0,
+    ) -> None:
+        self.labeling = labeling
+        self.app_cv_repeats = app_cv_repeats
+        self.device_cv_repeats = device_cv_repeats
+        self.n_splits = n_splits
+        self.device_resample = device_resample
+        self.app_resample = app_resample
+        self.random_state = random_state
+
+    def run(self, data: StudyData) -> PipelineResult:
+        observations = build_observations(data, data.eligible_participants(min_days=2))
+
+        # §7: app classifier on the labeled held-out devices.  Fold count
+        # is clamped to the minority-class size so tiny (e.g. evasion-
+        # scenario) cohorts still cross-validate.
+        app_dataset = build_app_dataset(data, observations, self.labeling)
+        app_splits = max(
+            2, min(self.n_splits, app_dataset.n_suspicious, app_dataset.n_regular)
+        )
+        app_evaluation = evaluate_app_algorithms(
+            app_dataset,
+            n_splits=app_splits,
+            n_repeats=self.app_cv_repeats,
+            resample=self.app_resample,
+            random_state=self.random_state,
+        )
+        app_model = AppClassifier(self.random_state).fit(app_dataset)
+
+        # Score every device's installed apps -> suspiciousness feature.
+        suspiciousness = self.score_devices(data, observations, app_model)
+
+        # §8: device classifier with the suspiciousness feature wired in.
+        device_dataset = build_device_dataset(data, observations, suspiciousness)
+        device_splits = max(
+            2, min(self.n_splits, device_dataset.n_worker, device_dataset.n_regular)
+        )
+        device_evaluation = evaluate_device_algorithms(
+            device_dataset,
+            n_splits=device_splits,
+            n_repeats=self.device_cv_repeats,
+            resample=self.device_resample,
+            random_state=self.random_state,
+        )
+        device_model = DeviceClassifier(self.random_state).fit(device_dataset)
+
+        result = PipelineResult(
+            observations=observations,
+            app_dataset=app_dataset,
+            app_evaluation=app_evaluation,
+            app_model=app_model,
+            suspiciousness=suspiciousness,
+            device_dataset=device_dataset,
+            device_evaluation=device_evaluation,
+            device_model=device_model,
+        )
+        result.verdicts = self._verdicts(data, observations, device_model, suspiciousness)
+        return result
+
+    @staticmethod
+    def score_devices(
+        data: StudyData,
+        observations: list[DeviceObservation],
+        app_model: AppClassifier,
+    ) -> dict[str, float]:
+        """install_id -> fraction of user-installed apps flagged as
+        promotion-installed by the app classifier (§8.1 feature (2))."""
+        suspiciousness: dict[str, float] = {}
+        for obs in observations:
+            # Score Play-hosted user installs only: promotion happens on
+            # the Play Store, and side-loaded apks have no Play reviews
+            # for the usage features to reason about.
+            packages = [
+                a["package"]
+                for a in obs.initial_apps
+                if not a["preinstalled"]
+                and a["package"] in data.catalog
+                and data.catalog.get(a["package"]).on_play_store
+            ]
+            if not packages:
+                suspiciousness[obs.install_id] = 0.0
+                continue
+            X = np.vstack(
+                [
+                    app_feature_vector(obs, package, data.catalog, data.vt_client)
+                    for package in packages
+                ]
+            )
+            suspiciousness[obs.install_id] = app_model.flag_fraction(X)
+        return suspiciousness
+
+    def _verdicts(
+        self,
+        data: StudyData,
+        observations: list[DeviceObservation],
+        device_model: DeviceClassifier,
+        suspiciousness: dict[str, float],
+    ) -> list[DeviceVerdict]:
+        verdicts = []
+        for obs in observations:
+            score = suspiciousness.get(obs.install_id, 0.0)
+            x = device_feature_vector(obs, score)
+            proba = device_model.predict_proba(x)[0]
+            worker_col = int(np.nonzero(device_model._model.classes_ == 1)[0][0])
+            p_worker = float(proba[worker_col])
+            verdicts.append(
+                DeviceVerdict(
+                    install_id=obs.install_id,
+                    predicted_worker=p_worker >= 0.5,
+                    worker_probability=p_worker,
+                    app_suspiciousness=score,
+                    n_apps_scored=obs.n_user_installed,
+                    n_installed_and_reviewed=obs.n_installed_and_reviewed,
+                    ground_truth_worker=obs.is_worker,
+                )
+            )
+        return verdicts

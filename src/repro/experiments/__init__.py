@@ -1,0 +1,20 @@
+"""Per-table/figure experiment runners and the shared workbench."""
+
+from .common import ExperimentReport, Workbench, shared_workbench
+from .findings import FINDINGS, Finding, FindingResult, check_findings
+from .registry import EXPERIMENTS, run_all, run_experiment
+from .report_writer import generate_experiments_md
+
+__all__ = [
+    "ExperimentReport",
+    "FINDINGS",
+    "Finding",
+    "FindingResult",
+    "check_findings",
+    "Workbench",
+    "shared_workbench",
+    "EXPERIMENTS",
+    "run_all",
+    "run_experiment",
+    "generate_experiments_md",
+]

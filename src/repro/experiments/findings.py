@@ -1,0 +1,232 @@
+"""Findings registry: every qualitative claim of §6-§8, checked.
+
+Each paper finding is encoded as a predicate over the shared workbench;
+:func:`check_findings` evaluates all of them and reports which hold on
+the simulated reproduction.  This is the machine-readable version of
+the paper's "Summary of Findings" paragraphs, and the source for the
+scorecard in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..analysis import (
+    compute_accounts,
+    compute_churn,
+    compute_daily_use,
+    compute_install_to_review,
+    compute_installed_apps,
+    compute_malware,
+    compute_stopped_apps,
+)
+from .common import Workbench
+
+__all__ = ["Finding", "FindingResult", "FINDINGS", "check_findings"]
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One claim from the paper with its provenance."""
+
+    finding_id: str
+    section: str
+    statement: str
+    check: Callable[[Workbench], tuple[bool, str]]
+
+
+@dataclass(frozen=True)
+class FindingResult:
+    finding: Finding
+    holds: bool
+    measured: str
+
+    def row(self) -> tuple[str, str, str, str]:
+        return (
+            self.finding.finding_id,
+            self.finding.section,
+            "holds" if self.holds else "DIFFERS",
+            self.measured,
+        )
+
+
+def _accounts_more_gmail(wb: Workbench) -> tuple[bool, str]:
+    result = compute_accounts(wb.observations)
+    ratio = result.gmail.worker.median / max(result.gmail.regular.median, 1e-9)
+    return (
+        ratio > 3 and result.gmail.significant(),
+        f"worker/regular Gmail median ratio = {ratio:.1f}",
+    )
+
+
+def _accounts_less_diversity(wb: Workbench) -> tuple[bool, str]:
+    result = compute_accounts(wb.observations)
+    return (
+        result.account_types.worker.mean < result.account_types.regular.mean,
+        f"account types: worker {result.account_types.worker.mean:.1f} vs "
+        f"regular {result.account_types.regular.mean:.1f}",
+    )
+
+
+def _installed_counts_similar(wb: Workbench) -> tuple[bool, str]:
+    result = compute_installed_apps(wb.observations)
+    ratio = result.installed.worker.mean / result.installed.regular.mean
+    return 0.7 <= ratio <= 1.8, f"installed-apps mean ratio = {ratio:.2f}"
+
+
+def _installed_anova_not_significant(wb: Workbench) -> tuple[bool, str]:
+    result = compute_installed_apps(wb.observations)
+    p = result.installed.tests.anova.pvalue
+    return not result.installed.tests.anova.significant(), f"ANOVA p = {p:.3f}"
+
+
+def _workers_review_more_installed(wb: Workbench) -> tuple[bool, str]:
+    result = compute_installed_apps(wb.observations)
+    worker = result.installed_and_reviewed.worker.mean
+    regular = max(result.installed_and_reviewed.regular.mean, 1e-9)
+    return worker / regular > 10, f"installed+reviewed: {worker:.1f} vs {regular:.2f}"
+
+
+def _workers_total_reviews_dominant(wb: Workbench) -> tuple[bool, str]:
+    result = compute_installed_apps(wb.observations)
+    worker = result.total_reviews.worker.mean
+    regular = max(result.total_reviews.regular.mean, 1e-9)
+    return (
+        worker / regular > 20 and result.total_reviews.significant(),
+        f"total reviews/device: {worker:.0f} vs {regular:.2f}",
+    )
+
+
+def _workers_review_sooner(wb: Workbench) -> tuple[bool, str]:
+    result = compute_install_to_review(wb.observations)
+    return (
+        result.comparison.worker.median < result.comparison.regular.median,
+        f"median wait: worker {result.comparison.worker.median:.1f}d vs "
+        f"regular {result.comparison.regular.median:.1f}d",
+    )
+
+
+def _worker_fast_review_mass(wb: Workbench) -> tuple[bool, str]:
+    result = compute_install_to_review(wb.observations)
+    return (
+        0.15 <= result.worker_fast_fraction <= 0.6,
+        f"worker reviews within 1 day: {result.worker_fast_fraction:.0%} (paper 33%)",
+    )
+
+
+def _workers_stop_more_apps(wb: Workbench) -> tuple[bool, str]:
+    result = compute_stopped_apps(wb.observations)
+    return (
+        result.comparison.worker.median > result.comparison.regular.median
+        and result.comparison.significant(),
+        f"stopped median: worker {result.comparison.worker.median:.0f} vs "
+        f"regular {result.comparison.regular.median:.0f}",
+    )
+
+
+def _worker_churn_higher(wb: Workbench) -> tuple[bool, str]:
+    result = compute_churn(wb.observations)
+    return (
+        result.installs.worker.mean > 2 * result.installs.regular.mean
+        and result.installs.significant(),
+        f"daily installs: worker {result.installs.worker.mean:.1f} vs "
+        f"regular {result.installs.regular.mean:.1f}",
+    )
+
+
+def _daily_use_overlaps(wb: Workbench) -> tuple[bool, str]:
+    result = compute_daily_use(wb.observations)
+    return (
+        result.overlap_fraction() >= 0.15,
+        f"worker devices inside regular IQR: {result.overlap_fraction():.0%}",
+    )
+
+
+def _malware_spreads_on_worker_devices(wb: Workbench) -> tuple[bool, str]:
+    result = compute_malware(wb.observations, wb.data.vt_client, wb.data.catalog)
+    spread = result.mean_spread()
+    return (
+        spread["worker"] >= spread["regular"],
+        f"high-confidence sample spread: worker {spread['worker']:.2f} vs "
+        f"regular {spread['regular']:.2f} devices",
+    )
+
+
+def _av_apps_rare(wb: Workbench) -> tuple[bool, str]:
+    result = compute_malware(wb.observations, wb.data.vt_client, wb.data.catalog)
+    fraction = result.devices_with_av_app / max(len(wb.observations), 1)
+    return fraction <= 0.15, f"devices with an AV app: {fraction:.1%}"
+
+
+def _app_classifier_high_f1(wb: Workbench) -> tuple[bool, str]:
+    evaluation = wb.pipeline_result.app_evaluation
+    f1 = max(cv.f1 for cv in evaluation.results.values())
+    return f1 >= 0.97, f"best app-classifier F1 = {f1:.4f} (paper 0.9972)"
+
+
+def _device_classifier_high_f1(wb: Workbench) -> tuple[bool, str]:
+    evaluation = wb.pipeline_result.device_evaluation
+    xgb = evaluation.results["XGB"]
+    return xgb.f1 >= 0.9, f"XGB device F1 = {xgb.f1:.4f} (paper 0.9529)"
+
+
+def _device_classifier_low_fpr(wb: Workbench) -> tuple[bool, str]:
+    xgb = wb.pipeline_result.device_evaluation.results["XGB"]
+    return (
+        xgb.false_positive_rate <= 0.1,
+        f"XGB FPR = {xgb.false_positive_rate:.4f} (paper 0.0141)",
+    )
+
+
+def _organic_majority(wb: Workbench) -> tuple[bool, str]:
+    organic, dedicated = wb.pipeline_result.organic_split()
+    fraction = organic / max(organic + dedicated, 1)
+    return (
+        0.5 <= fraction <= 0.9 and dedicated > 0,
+        f"organic-indicative: {fraction:.0%} (paper 69.1%), "
+        f"promotion-only: {dedicated} (paper 55)",
+    )
+
+
+def _organic_workers_detected(wb: Workbench) -> tuple[bool, str]:
+    workers = wb.pipeline_result.worker_verdicts()
+    low = [v for v in workers if v.app_suspiciousness < 0.5]
+    detected = sum(1 for v in low if v.predicted_worker)
+    rate = detected / len(low) if low else 1.0
+    return (
+        rate >= 0.75,
+        f"low-suspiciousness (novice/organic) workers detected: {rate:.0%} "
+        f"({detected}/{len(low)})",
+    )
+
+
+FINDINGS: tuple[Finding, ...] = (
+    Finding("F1", "§6.2", "Workers register far more Gmail accounts", _accounts_more_gmail),
+    Finding("F2", "§6.2", "Workers have less account-type diversity", _accounts_less_diversity),
+    Finding("F3", "§6.3", "Installed-app counts are similar across groups", _installed_counts_similar),
+    Finding("F4", "§6.3", "ANOVA on installed-app counts is not significant", _installed_anova_not_significant),
+    Finding("F5", "§6.3", "Workers review far more of their installed apps", _workers_review_more_installed),
+    Finding("F6", "§6.3", "Workers post orders of magnitude more total reviews", _workers_total_reviews_dominant),
+    Finding("F7", "§6.3", "Workers review much sooner after install", _workers_review_sooner),
+    Finding("F8", "§6.3", "About a third of worker reviews land within one day", _worker_fast_review_mass),
+    Finding("F9", "§6.3", "Worker devices have significantly more stopped apps", _workers_stop_more_apps),
+    Finding("F10", "§6.3", "Worker app churn is significantly higher", _worker_churn_higher),
+    Finding("F11", "§6.3", "Daily used-app counts overlap substantially", _daily_use_overlaps),
+    Finding("F12", "§6.4", "Malware spreads across more worker devices", _malware_spreads_on_worker_devices),
+    Finding("F13", "§6.4", "Few participants install anti-virus apps", _av_apps_rare),
+    Finding("F14", "§7.2", "App classifier reaches very high F1", _app_classifier_high_f1),
+    Finding("F15", "§8.2", "Device classifier reaches high F1", _device_classifier_high_f1),
+    Finding("F16", "§8.2", "Device classifier keeps a low false-positive rate", _device_classifier_low_fpr),
+    Finding("F17", "§8.2", "Most worker devices are organic-indicative", _organic_majority),
+    Finding("F18", "§8.2", "Even low-suspiciousness workers are detected", _organic_workers_detected),
+)
+
+
+def check_findings(workbench: Workbench) -> list[FindingResult]:
+    """Evaluate every registered finding against one workbench."""
+    results = []
+    for finding in FINDINGS:
+        holds, measured = finding.check(workbench)
+        results.append(FindingResult(finding=finding, holds=holds, measured=measured))
+    return results

@@ -1,0 +1,84 @@
+"""k-nearest-neighbours classifier ("KNN" in Tables 1 and 2).
+
+The paper notes "KNN achieved best performance for K = 5", so 5 is the
+default.  Distances are Euclidean over internally z-scored features
+(without scaling, the count-valued usage features would dominate).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import BaseEstimator, ClassifierMixin, check_array, check_X_y
+
+__all__ = ["KNeighborsClassifier"]
+
+
+class KNeighborsClassifier(BaseEstimator, ClassifierMixin):
+    """Brute-force kNN with optional distance weighting.
+
+    Parameters
+    ----------
+    n_neighbors:
+        K; the paper's best value is 5.
+    weights:
+        ``"uniform"`` (majority vote) or ``"distance"`` (1/d weights).
+    standardize:
+        Whether to z-score features using the training statistics.
+    """
+
+    def __init__(
+        self,
+        n_neighbors: int = 5,
+        weights: str = "uniform",
+        standardize: bool = True,
+    ) -> None:
+        if weights not in ("uniform", "distance"):
+            raise ValueError(f"unknown weights scheme {weights!r}")
+        self.n_neighbors = n_neighbors
+        self.weights = weights
+        self.standardize = standardize
+
+    def fit(self, X, y) -> "KNeighborsClassifier":
+        X, y = check_X_y(X, y)
+        self._encoded = self._encode_labels(y)
+        if self.standardize:
+            self._mu = X.mean(axis=0)
+            sigma = X.std(axis=0)
+            sigma[sigma == 0.0] = 1.0
+            self._sigma = sigma
+        else:
+            self._mu = np.zeros(X.shape[1])
+            self._sigma = np.ones(X.shape[1])
+        self._train = (X - self._mu) / self._sigma
+        return self
+
+    def _neighbor_votes(self, X: np.ndarray) -> np.ndarray:
+        """Per-query class vote mass from the K nearest training points."""
+        Z = (check_array(X) - self._mu) / self._sigma
+        k = min(self.n_neighbors, self._train.shape[0])
+        votes = np.zeros((Z.shape[0], len(self.classes_)), dtype=np.float64)
+        # Chunk queries to bound the distance-matrix memory footprint.
+        chunk = max(1, 2_000_000 // max(1, self._train.shape[0]))
+        for start in range(0, Z.shape[0], chunk):
+            block = Z[start : start + chunk]
+            d2 = (
+                np.sum(block**2, axis=1)[:, None]
+                - 2.0 * block @ self._train.T
+                + np.sum(self._train**2, axis=1)[None, :]
+            )
+            np.maximum(d2, 0.0, out=d2)
+            nearest = np.argpartition(d2, k - 1, axis=1)[:, :k]
+            for i, row in enumerate(nearest):
+                if self.weights == "distance":
+                    w = 1.0 / (np.sqrt(d2[i, row]) + 1e-12)
+                else:
+                    w = np.ones(k)
+                np.add.at(votes[start + i], self._encoded[row], w)
+        return votes
+
+    def predict_proba(self, X) -> np.ndarray:
+        votes = self._neighbor_votes(X)
+        totals = votes.sum(axis=1, keepdims=True)
+        totals[totals == 0.0] = 1.0
+        return votes / totals

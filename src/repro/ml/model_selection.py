@@ -1,0 +1,181 @@
+"""Cross-validation machinery matching the paper's protocol.
+
+Both tables use 10-fold cross-validation; Table 1 repeats it 5 times
+("repeated 10-fold cross-validation (n=5)").  Resampling (SMOTE /
+over / under) is applied *inside* each fold, to the training split
+only, so no synthetic point ever leaks into validation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterator
+
+import numpy as np
+
+from .base import check_random_state, check_X_y, clone
+from .metrics import ClassificationReport, classification_report
+from .sampling import RESAMPLERS
+
+__all__ = [
+    "StratifiedKFold",
+    "train_test_split",
+    "CrossValidationResult",
+    "cross_validate",
+]
+
+
+class StratifiedKFold:
+    """Stratified k-fold splitter: per-class round-robin assignment after
+    a per-class shuffle, preserving class ratios in every fold."""
+
+    def __init__(self, n_splits: int = 10, shuffle: bool = True, random_state: int | None = None) -> None:
+        if n_splits < 2:
+            raise ValueError("n_splits must be >= 2")
+        self.n_splits = n_splits
+        self.shuffle = shuffle
+        self.random_state = random_state
+
+    def split(self, X, y) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        X, y = check_X_y(X, y)
+        rng = check_random_state(self.random_state)
+        n = y.shape[0]
+        fold_of = np.empty(n, dtype=np.int64)
+        for label in np.unique(y):
+            members = np.nonzero(y == label)[0]
+            if self.shuffle:
+                members = rng.permutation(members)
+            if members.size < self.n_splits:
+                raise ValueError(
+                    f"class {label!r} has {members.size} samples, fewer than "
+                    f"n_splits={self.n_splits}"
+                )
+            fold_of[members] = np.arange(members.size) % self.n_splits
+        for fold in range(self.n_splits):
+            test = np.nonzero(fold_of == fold)[0]
+            train = np.nonzero(fold_of != fold)[0]
+            yield train, test
+
+
+def train_test_split(
+    X,
+    y,
+    test_size: float = 0.2,
+    stratify: bool = True,
+    random_state: int | None = None,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Stratified (by default) train/test partition."""
+    X, y = check_X_y(X, y)
+    rng = check_random_state(random_state)
+    n = y.shape[0]
+    test_mask = np.zeros(n, dtype=bool)
+    if stratify:
+        for label in np.unique(y):
+            members = rng.permutation(np.nonzero(y == label)[0])
+            k = max(1, int(round(test_size * members.size)))
+            test_mask[members[:k]] = True
+    else:
+        members = rng.permutation(n)
+        k = max(1, int(round(test_size * n)))
+        test_mask[members[:k]] = True
+    return X[~test_mask], X[test_mask], y[~test_mask], y[test_mask]
+
+
+@dataclass
+class CrossValidationResult:
+    """Aggregated metrics over all CV folds (and repeats)."""
+
+    fold_reports: list[ClassificationReport] = field(default_factory=list)
+
+    def _mean(self, attr: str) -> float:
+        return float(np.mean([getattr(r, attr) for r in self.fold_reports]))
+
+    def _std(self, attr: str) -> float:
+        return float(np.std([getattr(r, attr) for r in self.fold_reports]))
+
+    @property
+    def precision(self) -> float:
+        return self._mean("precision")
+
+    @property
+    def recall(self) -> float:
+        return self._mean("recall")
+
+    @property
+    def f1(self) -> float:
+        return self._mean("f1")
+
+    @property
+    def accuracy(self) -> float:
+        return self._mean("accuracy")
+
+    @property
+    def auc(self) -> float:
+        return self._mean("auc")
+
+    @property
+    def false_positive_rate(self) -> float:
+        return self._mean("false_positive_rate")
+
+    def summary(self) -> dict[str, float]:
+        return {
+            "precision": self.precision,
+            "recall": self.recall,
+            "f1": self.f1,
+            "accuracy": self.accuracy,
+            "auc": self.auc,
+            "fpr": self.false_positive_rate,
+            "f1_std": self._std("f1"),
+            "n_folds": float(len(self.fold_reports)),
+        }
+
+
+def cross_validate(
+    estimator,
+    X,
+    y,
+    n_splits: int = 10,
+    n_repeats: int = 1,
+    resample: str | Callable | None = None,
+    pos_label=1,
+    random_state: int | None = None,
+) -> CrossValidationResult:
+    """Repeated stratified k-fold CV with in-fold resampling.
+
+    Parameters
+    ----------
+    estimator:
+        Unfitted estimator; cloned per fold.
+    resample:
+        ``None``/``"none"``, ``"smote"``, ``"oversample"``,
+        ``"undersample"``, or a callable ``(X, y, random_state) -> (X, y)``
+        applied to each training split.
+    """
+    X, y = check_X_y(X, y)
+    if isinstance(resample, str):
+        resample = RESAMPLERS[resample]
+    rng = check_random_state(random_state)
+
+    result = CrossValidationResult()
+    for repeat in range(n_repeats):
+        seed = int(rng.integers(0, 2**31 - 1))
+        splitter = StratifiedKFold(n_splits=n_splits, shuffle=True, random_state=seed)
+        for train, test in splitter.split(X, y):
+            X_train, y_train = X[train], y[train]
+            if resample is not None:
+                X_train, y_train = resample(
+                    X_train, y_train, random_state=int(rng.integers(0, 2**31 - 1))
+                )
+            model = clone(estimator)
+            model.fit(X_train, y_train)
+            y_pred = model.predict(X[test])
+            y_score = None
+            if hasattr(model, "predict_proba"):
+                proba = model.predict_proba(X[test])
+                if proba.shape[1] == 2:
+                    positive_col = int(np.nonzero(model.classes_ == pos_label)[0][0]) if pos_label in model.classes_ else 1
+                    y_score = proba[:, positive_col]
+            result.fold_reports.append(
+                classification_report(y[test], y_pred, y_score, pos_label=pos_label)
+            )
+    return result

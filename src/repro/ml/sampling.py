@@ -1,0 +1,121 @@
+"""Class-imbalance resampling: SMOTE, random over- and under-sampling.
+
+The paper's datasets are heavily imbalanced (2,994 suspicious vs 345
+regular app instances; 178 worker vs 88 regular devices).  Section 7.2
+evaluates random under/over-sampling and §8.2 "oversample[s] the
+minority class using the SMOTE algorithm [Chawla et al. 2002]"; all
+three strategies are implemented here.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import check_random_state, check_X_y
+
+__all__ = [
+    "smote",
+    "random_oversample",
+    "random_undersample",
+    "class_counts",
+]
+
+
+def class_counts(y: np.ndarray) -> dict:
+    """Label -> count mapping."""
+    labels, counts = np.unique(np.asarray(y), return_counts=True)
+    return dict(zip(labels.tolist(), counts.tolist()))
+
+
+def _majority_minority(y: np.ndarray) -> tuple[object, object]:
+    counts = class_counts(y)
+    if len(counts) != 2:
+        raise ValueError(f"resampling expects exactly 2 classes, got {sorted(counts)}")
+    ordered = sorted(counts.items(), key=lambda item: item[1])
+    return ordered[1][0], ordered[0][0]  # (majority, minority)
+
+
+def smote(
+    X,
+    y,
+    k_neighbors: int = 5,
+    random_state: int | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Synthetic Minority Over-sampling TEchnique (Chawla et al., 2002).
+
+    New minority samples are convex combinations ``x + u * (neighbor - x)``
+    with ``u ~ U(0, 1)`` and the neighbour drawn from the k nearest
+    minority points.  Balances the minority class up to the majority size.
+    """
+    X, y = check_X_y(X, y)
+    rng = check_random_state(random_state)
+    majority, minority = _majority_minority(y)
+    minority_rows = X[y == minority]
+    deficit = int(np.sum(y == majority) - np.sum(y == minority))
+    if deficit <= 0:
+        return X.copy(), y.copy()
+
+    n_min = minority_rows.shape[0]
+    if n_min == 1:
+        # Degenerate: duplicate the lone minority point.
+        synthetic = np.repeat(minority_rows, deficit, axis=0)
+    else:
+        k = min(k_neighbors, n_min - 1)
+        d2 = (
+            np.sum(minority_rows**2, axis=1)[:, None]
+            - 2.0 * minority_rows @ minority_rows.T
+            + np.sum(minority_rows**2, axis=1)[None, :]
+        )
+        np.fill_diagonal(d2, np.inf)
+        neighbor_ids = np.argsort(d2, axis=1)[:, :k]
+
+        base = rng.integers(0, n_min, size=deficit)
+        pick = rng.integers(0, k, size=deficit)
+        neighbors = neighbor_ids[base, pick]
+        gaps = rng.random((deficit, 1))
+        synthetic = minority_rows[base] + gaps * (
+            minority_rows[neighbors] - minority_rows[base]
+        )
+
+    X_out = np.vstack([X, synthetic])
+    y_out = np.concatenate([y, np.full(deficit, minority, dtype=y.dtype)])
+    return X_out, y_out
+
+
+def random_oversample(
+    X, y, random_state: int | None = None
+) -> tuple[np.ndarray, np.ndarray]:
+    """Duplicate random minority samples until the classes are balanced."""
+    X, y = check_X_y(X, y)
+    rng = check_random_state(random_state)
+    majority, minority = _majority_minority(y)
+    minority_idx = np.nonzero(y == minority)[0]
+    deficit = int(np.sum(y == majority) - minority_idx.size)
+    if deficit <= 0:
+        return X.copy(), y.copy()
+    extra = rng.choice(minority_idx, size=deficit, replace=True)
+    X_out = np.vstack([X, X[extra]])
+    y_out = np.concatenate([y, y[extra]])
+    return X_out, y_out
+
+
+def random_undersample(
+    X, y, random_state: int | None = None
+) -> tuple[np.ndarray, np.ndarray]:
+    """Drop random majority samples until the classes are balanced."""
+    X, y = check_X_y(X, y)
+    rng = check_random_state(random_state)
+    majority, minority = _majority_minority(y)
+    majority_idx = np.nonzero(y == majority)[0]
+    minority_idx = np.nonzero(y == minority)[0]
+    kept = rng.choice(majority_idx, size=minority_idx.size, replace=False)
+    keep = np.sort(np.concatenate([kept, minority_idx]))
+    return X[keep], y[keep]
+
+
+RESAMPLERS = {
+    "none": None,
+    "smote": smote,
+    "oversample": random_oversample,
+    "undersample": random_undersample,
+}

@@ -1,0 +1,193 @@
+"""HTTP-style API for the RacketStore web app (§3, Figure 3).
+
+The paper's server exposes the sign-in component, the snapshot
+collector engine and the internal dashboard over HTTP(S).  This module
+reproduces that interface as a framework-free request router: plain
+:class:`ApiRequest`/:class:`ApiResponse` values, path routing with
+parameters, participant-code authentication for uploads, and an
+IP-side-channel note — the backend records the request's apparent
+country for the §4 recruitment statistics but never stores the address
+itself (Table 3: "IP address / Backend / Statistics / Not stored").
+"""
+
+from __future__ import annotations
+
+import base64
+from dataclasses import dataclass, field
+from typing import Callable
+
+from .dashboard import Dashboard
+from .server import RacketStoreServer
+
+__all__ = ["ApiRequest", "ApiResponse", "RacketStoreApi"]
+
+
+@dataclass(frozen=True)
+class ApiRequest:
+    """One request: method, path, JSON body, and transport metadata."""
+
+    method: str
+    path: str
+    body: dict | None = None
+    #: Apparent origin country (derived from the connection; the
+    #: address itself is never persisted — Table 3).
+    ip_country: str | None = None
+
+
+@dataclass(frozen=True)
+class ApiResponse:
+    status: int
+    body: dict = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return 200 <= self.status < 300
+
+
+_Handler = Callable[[ApiRequest, dict], ApiResponse]
+
+
+def _error(status: int, message: str) -> ApiResponse:
+    return ApiResponse(status, {"error": message})
+
+
+class RacketStoreApi:
+    """Router + handlers over a :class:`RacketStoreServer`.
+
+    Routes
+    ------
+    ``POST /signin``                 validate a participant code, register the install
+    ``POST /snapshots/{kind}``       upload one compressed chunk (base64 body)
+    ``GET  /dashboard/overview``     fleet monitoring numbers
+    ``GET  /dashboard/installs/{id}`` per-install health
+    ``GET  /dashboard/validation``   consistency-check results
+    ``GET  /stats``                  ingest statistics
+    """
+
+    def __init__(self, server: RacketStoreServer) -> None:
+        self._server = server
+        self._dashboard = Dashboard(server)
+        #: country -> request count (the only trace of request origins).
+        self.country_counts: dict[str, int] = {}
+        self._routes: list[tuple[str, list[str], _Handler]] = []
+        self._route("POST", "/signin", self._handle_signin)
+        self._route("POST", "/snapshots/{kind}", self._handle_upload)
+        self._route("GET", "/dashboard/overview", self._handle_overview)
+        self._route("GET", "/dashboard/installs/{install_id}", self._handle_install)
+        self._route("GET", "/dashboard/validation", self._handle_validation)
+        self._route("GET", "/stats", self._handle_stats)
+
+    # -- routing -----------------------------------------------------------
+    def _route(self, method: str, pattern: str, handler: _Handler) -> None:
+        self._routes.append((method, pattern.strip("/").split("/"), handler))
+
+    def handle(self, request: ApiRequest) -> ApiResponse:
+        """Dispatch one request; never raises for malformed input."""
+        if request.ip_country:
+            self.country_counts[request.ip_country] = (
+                self.country_counts.get(request.ip_country, 0) + 1
+            )
+        segments = request.path.strip("/").split("/")
+        path_exists = False
+        for method, pattern, handler in self._routes:
+            params = self._match(pattern, segments)
+            if params is None:
+                continue
+            path_exists = True
+            if method != request.method:
+                continue
+            try:
+                return handler(request, params)
+            except Exception as error:  # defensive: a handler bug is a 500
+                return _error(500, f"internal error: {type(error).__name__}")
+        if path_exists:
+            return _error(405, "method not allowed")
+        return _error(404, "no such route")
+
+    @staticmethod
+    def _match(pattern: list[str], segments: list[str]) -> dict | None:
+        if len(pattern) != len(segments):
+            return None
+        params: dict[str, str] = {}
+        for expected, actual in zip(pattern, segments):
+            if expected.startswith("{") and expected.endswith("}"):
+                params[expected[1:-1]] = actual
+            elif expected != actual:
+                return None
+        return params
+
+    # -- handlers ------------------------------------------------------------
+    def _handle_signin(self, request: ApiRequest, _params: dict) -> ApiResponse:
+        body = request.body or {}
+        required = {"participant_id", "install_id"}
+        if not required <= set(body):
+            return _error(400, f"missing fields: {sorted(required - set(body))}")
+        if not self._server.is_valid_participant(body["participant_id"]):
+            # The §3 guarantee: nothing is collected without a valid code.
+            return _error(403, "unknown participant id")
+        self._server.register_install(
+            participant_id=body["participant_id"],
+            install_id=body["install_id"],
+            android_id=body.get("android_id"),
+            timestamp=float(body.get("timestamp", 0.0)),
+        )
+        return ApiResponse(200, {"registered": body["install_id"]})
+
+    def _handle_upload(self, request: ApiRequest, params: dict) -> ApiResponse:
+        kind = params["kind"]
+        if kind not in ("fast", "slow"):
+            return _error(400, f"unknown snapshot kind {kind!r}")
+        body = request.body or {}
+        if "chunk_b64" not in body:
+            return _error(400, "missing chunk_b64")
+        try:
+            data = base64.b64decode(body["chunk_b64"], validate=True)
+        except Exception:
+            return _error(400, "chunk_b64 is not valid base64")
+        ack = self._server.receive_chunk(kind, data)
+        # The hash acknowledgement the app's buffer verifies (§3).
+        return ApiResponse(200, {"sha256": ack})
+
+    def _handle_overview(self, _request: ApiRequest, _params: dict) -> ApiResponse:
+        return ApiResponse(200, self._dashboard.overview())
+
+    def _handle_install(self, _request: ApiRequest, params: dict) -> ApiResponse:
+        health = self._dashboard.install_health(params["install_id"])
+        if health is None:
+            return _error(404, "unknown install")
+        return ApiResponse(
+            200,
+            {
+                "install_id": health.install_id,
+                "snapshots_per_day": health.snapshots_per_day,
+                "active_days": health.active_days,
+                "healthy": health.healthy,
+                "reported_accounts": health.reported_accounts,
+                "reported_usage": health.reported_usage,
+            },
+        )
+
+    def _handle_validation(self, _request: ApiRequest, _params: dict) -> ApiResponse:
+        issues = self._dashboard.validate()
+        return ApiResponse(
+            200,
+            {
+                "issues": [
+                    {"install_id": i.install_id, "check": i.check, "detail": i.detail}
+                    for i in issues
+                ]
+            },
+        )
+
+    def _handle_stats(self, _request: ApiRequest, _params: dict) -> ApiResponse:
+        stats = self._server.stats
+        return ApiResponse(
+            200,
+            {
+                "chunks_received": stats.chunks_received,
+                "bytes_received": stats.bytes_received,
+                "records_inserted": stats.records_inserted,
+                "malformed_chunks": stats.malformed_chunks,
+                "requests_by_country": dict(self.country_counts),
+            },
+        )

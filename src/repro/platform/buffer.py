@@ -1,0 +1,119 @@
+"""On-device data buffer: accumulate, compress, hash-verified upload.
+
+§3 "Data Buffer Module": snapshots are appended to per-type
+accumulation files; when the slow file reaches 8 KB or the fast file
+reaches 100 KB the file is gzip-compressed and queued.  Every 2 minutes
+the upload alarm sends queued chunks to the server, which acknowledges
+with the SHA-256 of the received bytes; the app deletes a chunk only
+when the acknowledged hash matches its own, otherwise the chunk is
+retransmitted ("resilient communications").
+"""
+
+from __future__ import annotations
+
+import gzip
+import hashlib
+import json
+from dataclasses import dataclass
+
+from .models import record_to_dict
+
+__all__ = ["BufferedChunk", "DataBuffer", "chunk_hash"]
+
+
+def chunk_hash(data: bytes) -> str:
+    """The transfer-validation hash (SHA-256 hex digest)."""
+    return hashlib.sha256(data).hexdigest()
+
+
+@dataclass(slots=True)
+class BufferedChunk:
+    """One compressed accumulation file awaiting upload."""
+
+    kind: str  # "fast" | "slow"
+    data: bytes
+    n_records: int
+    attempts: int = 0
+
+    @property
+    def sha256(self) -> str:
+        return chunk_hash(self.data)
+
+
+class DataBuffer:
+    """Per-install snapshot buffer with the paper's flush thresholds."""
+
+    def __init__(
+        self,
+        fast_threshold_bytes: int = 100 * 1024,
+        slow_threshold_bytes: int = 8 * 1024,
+    ) -> None:
+        self.thresholds = {"fast": fast_threshold_bytes, "slow": slow_threshold_bytes}
+        self._accumulating: dict[str, list[str]] = {"fast": [], "slow": []}
+        self._accumulated_bytes: dict[str, int] = {"fast": 0, "slow": 0}
+        self._pending: list[BufferedChunk] = []
+        self.records_buffered = 0
+        self.chunks_sealed = 0
+        self.chunks_delivered = 0
+        self.retransmissions = 0
+
+    # -- accumulation -------------------------------------------------------
+    def append(self, kind: str, record) -> None:
+        """Serialise one snapshot record into the ``kind`` accumulation file."""
+        if kind not in self._accumulating:
+            raise ValueError(f"unknown buffer kind {kind!r}")
+        line = json.dumps(record_to_dict(record), separators=(",", ":"))
+        self._accumulating[kind].append(line)
+        self._accumulated_bytes[kind] += len(line) + 1
+        self.records_buffered += 1
+        if self._accumulated_bytes[kind] >= self.thresholds[kind]:
+            self._seal(kind)
+
+    def _seal(self, kind: str) -> None:
+        """Compress the current accumulation file and start a new one."""
+        lines = self._accumulating[kind]
+        if not lines:
+            return
+        raw = ("\n".join(lines) + "\n").encode()
+        self._pending.append(
+            BufferedChunk(kind=kind, data=gzip.compress(raw), n_records=len(lines))
+        )
+        self._accumulating[kind] = []
+        self._accumulated_bytes[kind] = 0
+        self.chunks_sealed += 1
+
+    def seal_all(self) -> None:
+        """Force-seal both accumulation files (app shutdown / uninstall)."""
+        for kind in ("fast", "slow"):
+            self._seal(kind)
+
+    # -- upload ---------------------------------------------------------------
+    @property
+    def pending_chunks(self) -> int:
+        return len(self._pending)
+
+    def flush(self, transport, max_attempts: int = 5) -> int:
+        """Send pending chunks through ``transport``; delete each only on
+        a matching hash acknowledgement.  ``max_attempts`` bounds the
+        sends *per chunk per flush call*; undelivered chunks stay queued
+        for the next flush (the 2-minute alarm retries them forever).
+        Returns the number of records delivered this call."""
+        delivered_records = 0
+        still_pending: list[BufferedChunk] = []
+        for chunk in self._pending:
+            delivered = False
+            for _ in range(max_attempts):
+                chunk.attempts += 1
+                if chunk.attempts > 1:
+                    self.retransmissions += 1
+                ack = transport.send(chunk.kind, chunk.data)
+                if ack == chunk.sha256:
+                    delivered = True
+                    break
+            if delivered:
+                delivered_records += chunk.n_records
+                self.chunks_delivered += 1
+            else:
+                still_pending.append(chunk)
+        self._pending = still_pending
+        return delivered_records

@@ -1,0 +1,285 @@
+"""The RacketStore mobile app: sign-in, collectors, and daily reporting.
+
+Mirrors §3's component structure:
+
+* **sign-in interface** — validates the 6-digit participant ID issued at
+  recruitment and mints the 10-digit random install ID;
+* **initial data collector** — device info plus the installed-app list;
+* **snapshot collectors** — fast (5 s: foreground app, screen, battery,
+  install/uninstall deltas) and slow (2 min: accounts, save mode,
+  stopped apps), emitted as run-length-encoded runs over the windows
+  in which the collector was scheduled by Android;
+* **data buffer** — accumulate/compress/upload with hash-verified
+  delivery (see :mod:`repro.platform.buffer`).
+
+Participants may deny either runtime permission (§3): denying
+``PACKAGE_USAGE_STATS`` blanks the foreground field, denying
+``GET_ACCOUNTS`` blanks the account list — this produces the partially
+reporting devices the paper repeatedly notes (e.g. only 145 regular and
+390 worker devices reported account data for Figure 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..simulation.clock import SECONDS_PER_DAY, hours
+from ..simulation.device import SimDevice
+from ..simulation.events import EventType
+from .buffer import DataBuffer
+from .models import (
+    AppChangeEvent,
+    FastSnapshotRun,
+    InitialSnapshot,
+    InstalledAppInfo,
+    SlowSnapshotRun,
+)
+
+__all__ = ["SignInError", "RacketStoreApp"]
+
+
+class SignInError(ValueError):
+    """Raised when a participant enters an unknown 6-digit code."""
+
+
+@dataclass(frozen=True)
+class _Permissions:
+    usage_stats: bool  # PACKAGE_USAGE_STATS
+    get_accounts: bool  # GET_ACCOUNTS
+
+
+class RacketStoreApp:
+    """One install of the RacketStore app on one device."""
+
+    FAST_PERIOD_S = 5.0
+    SLOW_PERIOD_S = 120.0
+
+    def __init__(
+        self,
+        device: SimDevice,
+        participant_id: str,
+        server,
+        transport,
+        rng: np.random.Generator,
+        grant_usage_stats: bool = True,
+        grant_get_accounts: bool = True,
+        fast_buffer_bytes: int = 100 * 1024,
+        slow_buffer_bytes: int = 8 * 1024,
+    ) -> None:
+        self.device = device
+        self.participant_id = participant_id
+        self._server = server
+        self._transport = transport
+        self._rng = rng
+        self.permissions = _Permissions(grant_usage_stats, grant_get_accounts)
+        self.buffer = DataBuffer(fast_buffer_bytes, slow_buffer_bytes)
+        self.install_id: str | None = None
+        self.installed_at: float | None = None
+        self.uninstalled_at: float | None = None
+        #: Median daily "collector uptime" outside foreground sessions:
+        #: Android throttles background alarms, so idle coverage varies
+        #: per device — this is what spreads Figure 4's snapshot counts.
+        self._idle_hours_median = float(np.clip(rng.lognormal(np.log(2.2), 0.9), 0.1, 14.0))
+
+    # -- lifecycle -----------------------------------------------------------
+    def sign_in(self, timestamp: float) -> str:
+        """Validate the participant code with the server and mint the
+        install ID.  No data is collected before this succeeds (§3)."""
+        if not self._server.is_valid_participant(self.participant_id):
+            raise SignInError(f"unknown participant id {self.participant_id!r}")
+        self.install_id = f"{self._rng.integers(10**9, 10**10 - 1):010d}"
+        self.installed_at = float(timestamp)
+        self._server.register_install(
+            participant_id=self.participant_id,
+            install_id=self.install_id,
+            android_id=self.device.android_id,
+            timestamp=timestamp,
+        )
+        self._send_initial_snapshot(timestamp)
+        return self.install_id
+
+    def uninstall(self, timestamp: float) -> None:
+        self.buffer.seal_all()
+        self.buffer.flush(self._transport)
+        self.uninstalled_at = float(timestamp)
+
+    @property
+    def active(self) -> bool:
+        return self.install_id is not None and self.uninstalled_at is None
+
+    # -- initial collector ------------------------------------------------------
+    def _send_initial_snapshot(self, timestamp: float) -> None:
+        apps = []
+        for rec in sorted(self.device.installed.values(), key=lambda r: r.package):
+            granted_dangerous = sum(
+                1
+                for p in rec.granted_permissions
+                if p.split(".")[-1] in _DANGEROUS_SUFFIXES
+            )
+            # Denied permissions are always dangerous ones (normal
+            # permissions are granted automatically at install).
+            n_dangerous = granted_dangerous + rec.n_denied
+            apps.append(
+                InstalledAppInfo(
+                    package=rec.package,
+                    install_time=rec.install_time,
+                    last_update_time=rec.last_update_time,
+                    apk_hash=rec.apk_hash,
+                    n_granted=rec.n_granted,
+                    n_denied=rec.n_denied,
+                    n_normal_permissions=rec.n_granted - granted_dangerous,
+                    n_dangerous_permissions=n_dangerous,
+                    stopped=rec.stopped,
+                    preinstalled=rec.preinstalled,
+                )
+            )
+        apps = tuple(apps)
+        snapshot = InitialSnapshot(
+            install_id=self.install_id,
+            participant_id=self.participant_id,
+            android_id=self.device.android_id,
+            api_level=self.device.api_level,
+            model=self.device.model,
+            manufacturer=self.device.manufacturer,
+            timestamp=timestamp,
+            installed_apps=apps,
+        )
+        self.buffer.append("slow", snapshot)
+        self.buffer.seal_all()
+        self.buffer.flush(self._transport)
+
+    # -- daily collection ---------------------------------------------------------
+    def collect_day(self, day_start: float) -> None:
+        """Run both collectors over one study day and upload."""
+        if not self.active:
+            raise RuntimeError("collect_day on an inactive install")
+        day_end = day_start + SECONDS_PER_DAY
+        windows = self._coverage_windows(day_start, day_end)
+        self._emit_fast_runs(windows, day_start, day_end)
+        self._emit_slow_runs(windows)
+        self._emit_app_changes(day_start, day_end)
+        self.buffer.seal_all()
+        self.buffer.flush(self._transport)
+
+    def _coverage_windows(self, day_start: float, day_end: float) -> list[tuple[float, float, str | None]]:
+        """(start, end, foreground) intervals the collectors were awake.
+
+        Foreground sessions always produce coverage (the device is in
+        use); idle coverage is drawn from the per-device uptime budget.
+        """
+        sessions = [
+            s
+            for s in self.device.sessions
+            if s.start < day_end and s.end > day_start
+        ]
+        windows: list[tuple[float, float, str | None]] = [
+            (max(s.start, day_start), min(s.end, day_end), s.package) for s in sessions
+        ]
+        idle_budget = hours(
+            float(np.clip(self._rng.lognormal(np.log(self._idle_hours_median), 0.5), 0.05, 15.0))
+        )
+        # Spread the idle budget over 1-3 screen-off windows.
+        n_windows = int(self._rng.integers(1, 4))
+        for _ in range(n_windows):
+            duration = idle_budget / n_windows
+            start = float(self._rng.uniform(day_start, max(day_start, day_end - duration)))
+            windows.append((start, min(start + duration, day_end), None))
+        windows.sort(key=lambda w: w[0])
+        return windows
+
+    def _emit_fast_runs(self, windows, day_start: float, day_end: float) -> None:
+        battery = self.device.battery_level
+        for start, end, foreground in windows:
+            if end <= start:
+                continue
+            battery = max(0.05, battery - (end - start) / hours(30))
+            self.buffer.append(
+                "fast",
+                FastSnapshotRun(
+                    install_id=self.install_id,
+                    participant_id=self.participant_id,
+                    start=start,
+                    end=end,
+                    period=self.FAST_PERIOD_S,
+                    foreground=foreground if self.permissions.usage_stats else None,
+                    screen_on=foreground is not None,
+                    battery=round(battery, 3),
+                    usage_permission=self.permissions.usage_stats,
+                ),
+            )
+        # Overnight recharge.
+        self.device.battery_level = float(self._rng.uniform(0.6, 1.0))
+
+    def _emit_slow_runs(self, windows) -> None:
+        if self.permissions.get_accounts:
+            accounts = tuple(
+                (a.service, a.identifier) for a in self.device.accounts
+            )
+        else:
+            accounts = ()
+        stopped = tuple(self.device.stopped_packages())
+        for start, end, _foreground in windows:
+            if end <= start:
+                continue
+            self.buffer.append(
+                "slow",
+                SlowSnapshotRun(
+                    install_id=self.install_id,
+                    participant_id=self.participant_id,
+                    android_id=self.device.android_id,
+                    start=start,
+                    end=end,
+                    period=self.SLOW_PERIOD_S,
+                    accounts=accounts,
+                    save_mode=self.device.save_mode,
+                    stopped_apps=stopped,
+                    accounts_permission=self.permissions.get_accounts,
+                ),
+            )
+
+    def _emit_app_changes(self, day_start: float, day_end: float) -> None:
+        for event in self.device.events:
+            if not day_start <= event.timestamp < day_end:
+                continue
+            if event.event_type is EventType.INSTALL:
+                record = self.device.installed.get(event.package)
+                self.buffer.append(
+                    "fast",
+                    AppChangeEvent(
+                        install_id=self.install_id,
+                        participant_id=self.participant_id,
+                        timestamp=event.timestamp,
+                        action="install",
+                        package=event.package,
+                        install_time=record.install_time if record else event.timestamp,
+                        apk_hash=record.apk_hash if record else None,
+                        n_granted=record.n_granted if record else 0,
+                        n_denied=record.n_denied if record else 0,
+                    ),
+                )
+            elif event.event_type is EventType.UNINSTALL:
+                self.buffer.append(
+                    "fast",
+                    AppChangeEvent(
+                        install_id=self.install_id,
+                        participant_id=self.participant_id,
+                        timestamp=event.timestamp,
+                        action="uninstall",
+                        package=event.package,
+                    ),
+                )
+
+
+_DANGEROUS_SUFFIXES = frozenset(
+    {
+        "READ_CALENDAR", "WRITE_CALENDAR", "CAMERA", "READ_CONTACTS",
+        "WRITE_CONTACTS", "GET_ACCOUNTS", "ACCESS_FINE_LOCATION",
+        "ACCESS_COARSE_LOCATION", "RECORD_AUDIO", "READ_PHONE_STATE",
+        "CALL_PHONE", "READ_CALL_LOG", "WRITE_CALL_LOG", "ADD_VOICEMAIL",
+        "USE_SIP", "PROCESS_OUTGOING_CALLS", "BODY_SENSORS", "SEND_SMS",
+        "RECEIVE_SMS", "READ_SMS", "RECEIVE_WAP_PUSH", "RECEIVE_MMS",
+        "READ_EXTERNAL_STORAGE", "WRITE_EXTERNAL_STORAGE",
+    }
+)

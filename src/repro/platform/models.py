@@ -1,0 +1,190 @@
+"""Snapshot schema and PII registry for the RacketStore platform.
+
+§3 defines two snapshot families: *slow* (every 2 minutes: identifiers,
+registered accounts, save-mode status, stopped apps) and *fast* (every
+5 seconds: identifiers, foreground app, screen/battery status, and
+install/uninstall deltas).  Because consecutive snapshots are almost
+always identical, the wire format here is run-length encoded: one
+``*SnapshotRun`` record stands for every periodic snapshot taken while
+the captured state was constant.  ``n_snapshots`` recovers exact counts,
+so the §6.1 engagement statistics are unaffected.
+
+Table 3's PII inventory is reproduced as :data:`PII_REGISTRY`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import asdict, dataclass, field
+from typing import Any
+
+__all__ = [
+    "SlowSnapshotRun",
+    "FastSnapshotRun",
+    "AppChangeEvent",
+    "InstalledAppInfo",
+    "InitialSnapshot",
+    "PIIEntry",
+    "PII_REGISTRY",
+    "record_to_dict",
+    "record_from_dict",
+]
+
+
+def _run_count(start: float, end: float, period: float) -> int:
+    """Number of periodic samples in [start, end) at ``period`` spacing
+    (at least one: the sample at ``start``)."""
+    if end < start:
+        raise ValueError(f"run ends before it starts ({end} < {start})")
+    return 1 + int(math.floor(max(end - start, 0.0) / period))
+
+
+@dataclass(frozen=True, slots=True)
+class SlowSnapshotRun:
+    """RLE run of slow (2-minute) snapshots with constant state."""
+
+    install_id: str
+    participant_id: str
+    android_id: str | None
+    start: float
+    end: float
+    period: float
+    #: (service, identifier) pairs; empty tuple when GET_ACCOUNTS denied.
+    accounts: tuple[tuple[str, str], ...]
+    save_mode: bool
+    stopped_apps: tuple[str, ...]
+    accounts_permission: bool = True
+
+    @property
+    def n_snapshots(self) -> int:
+        return _run_count(self.start, self.end, self.period)
+
+
+@dataclass(frozen=True, slots=True)
+class FastSnapshotRun:
+    """RLE run of fast (5-second) snapshots with constant state."""
+
+    install_id: str
+    participant_id: str
+    start: float
+    end: float
+    period: float
+    foreground: str | None
+    screen_on: bool
+    battery: float
+    usage_permission: bool = True
+
+    @property
+    def n_snapshots(self) -> int:
+        return _run_count(self.start, self.end, self.period)
+
+
+@dataclass(frozen=True, slots=True)
+class AppChangeEvent:
+    """Install/uninstall delta between consecutive installed-app sets."""
+
+    install_id: str
+    participant_id: str
+    timestamp: float
+    action: str  # "install" | "uninstall"
+    package: str
+    install_time: float | None = None
+    apk_hash: str | None = None
+    n_granted: int = 0
+    n_denied: int = 0
+    n_normal_permissions: int = 0
+    n_dangerous_permissions: int = 0
+
+    def __post_init__(self) -> None:
+        if self.action not in ("install", "uninstall"):
+            raise ValueError(f"unknown app-change action {self.action!r}")
+
+
+@dataclass(frozen=True, slots=True)
+class InstalledAppInfo:
+    """Per-app metadata in the initial snapshot (§3 initial collector)."""
+
+    package: str
+    install_time: float
+    last_update_time: float
+    apk_hash: str
+    n_granted: int
+    n_denied: int
+    n_normal_permissions: int
+    n_dangerous_permissions: int
+    stopped: bool
+    preinstalled: bool
+
+
+@dataclass(frozen=True, slots=True)
+class InitialSnapshot:
+    """First report after sign-in: device info + full installed-app list."""
+
+    install_id: str
+    participant_id: str
+    android_id: str | None
+    api_level: int
+    model: str
+    manufacturer: str
+    timestamp: float
+    installed_apps: tuple[InstalledAppInfo, ...]
+
+
+@dataclass(frozen=True)
+class PIIEntry:
+    """One row of Table 3 (PII / collector / reasons / deletion)."""
+
+    pii: str
+    collector: str
+    reason: str
+    deletion: str
+
+
+#: Table 3 of the paper, verbatim.
+PII_REGISTRY: tuple[PIIEntry, ...] = (
+    PIIEntry("Accounts", "RacketStore", "Classification", "After use"),
+    PIIEntry("Accounts", "RacketStore", "Review collection", "After use"),
+    PIIEntry("Email", "Website", "Recruitment", "After use"),
+    PIIEntry("IP address", "Backend", "Statistics", "Not stored"),
+    PIIEntry("Device ID", "RacketStore", "Snap. fingerprint", "After use"),
+    PIIEntry("Payment Info", "Author", "Payment", "Not stored"),
+)
+
+
+_RECORD_TYPES = {
+    "slow_run": SlowSnapshotRun,
+    "fast_run": FastSnapshotRun,
+    "app_change": AppChangeEvent,
+    "initial": InitialSnapshot,
+}
+_TYPE_NAMES = {cls: name for name, cls in _RECORD_TYPES.items()}
+
+
+def record_to_dict(record: Any) -> dict:
+    """Serialise a snapshot record to a JSON-compatible dict with a type tag."""
+    cls = type(record)
+    if cls not in _TYPE_NAMES:
+        raise TypeError(f"not a snapshot record: {cls.__name__}")
+    payload = asdict(record)
+    if cls is InitialSnapshot:
+        payload["installed_apps"] = [asdict(a) if not isinstance(a, dict) else a
+                                     for a in record.installed_apps]
+    payload["_type"] = _TYPE_NAMES[cls]
+    return payload
+
+
+def record_from_dict(payload: dict) -> Any:
+    """Inverse of :func:`record_to_dict`."""
+    payload = dict(payload)
+    type_name = payload.pop("_type", None)
+    if type_name not in _RECORD_TYPES:
+        raise ValueError(f"unknown record type {type_name!r}")
+    cls = _RECORD_TYPES[type_name]
+    if cls is InitialSnapshot:
+        payload["installed_apps"] = tuple(
+            InstalledAppInfo(**a) for a in payload["installed_apps"]
+        )
+    if cls is SlowSnapshotRun:
+        payload["accounts"] = tuple(tuple(pair) for pair in payload["accounts"])
+        payload["stopped_apps"] = tuple(payload["stopped_apps"])
+    return cls(**payload)

@@ -1,0 +1,221 @@
+"""RacketStore web app: sign-in service, snapshot ingest engine, queries.
+
+Mirrors the server side of Figure 3: the sign-in component validates
+participant codes and records installs; the snapshot collector engine
+receives compressed chunks, acknowledges them with the SHA-256 of the
+received bytes, decompresses, and inserts the records into the document
+store; the backend tracks every app seen on a participant device so the
+review crawler can follow it ("live" crawling, §5).
+"""
+
+from __future__ import annotations
+
+import gzip
+import itertools
+import json
+from dataclasses import dataclass
+
+from ..simulation.clock import SECONDS_PER_DAY
+from .buffer import chunk_hash
+from .fingerprint import DeviceCluster, InstallFingerprint, coalesce_installs
+from .models import record_from_dict
+from .store import DocumentStore
+
+__all__ = ["RacketStoreServer", "IngestStats", "PaymentLedger"]
+
+_COLLECTIONS = {
+    "initial": "initial_snapshots",
+    "fast_run": "fast_runs",
+    "slow_run": "slow_runs",
+    "app_change": "app_changes",
+}
+
+
+@dataclass
+class IngestStats:
+    chunks_received: int = 0
+    bytes_received: int = 0
+    records_inserted: int = 0
+    malformed_chunks: int = 0
+
+
+@dataclass
+class PaymentLedger:
+    """§4 participant payments: $1 per install + $0.20 per retained day."""
+
+    install_payment_usd: float = 1.0
+    daily_payment_usd: float = 0.2
+
+    def payment_for(self, first_seen: float, last_seen: float) -> float:
+        days_retained = max(0, int((last_seen - first_seen) // SECONDS_PER_DAY))
+        return self.install_payment_usd + days_retained * self.daily_payment_usd
+
+
+class RacketStoreServer:
+    """The backend the mobile apps report to."""
+
+    def __init__(self, store: DocumentStore | None = None, review_crawler=None) -> None:
+        self.store = store or DocumentStore()
+        self.review_crawler = review_crawler
+        self.stats = IngestStats()
+        self.payments = PaymentLedger()
+        self._participants: set[str] = set()
+        self._participant_counter = itertools.count(100_000)
+        for name in _COLLECTIONS.values():
+            self.store.collection(name).create_index("install_id")
+        self.store.collection("installs").create_index("install_id")
+
+    # -- sign-in service ------------------------------------------------------
+    def issue_participant_id(self) -> str:
+        """Mint a unique 6-digit participant code (sent out-of-band)."""
+        code = str(next(self._participant_counter))
+        self._participants.add(code)
+        return code
+
+    def is_valid_participant(self, participant_id: str) -> bool:
+        return participant_id in self._participants
+
+    def register_install(
+        self,
+        participant_id: str,
+        install_id: str,
+        android_id: str | None,
+        timestamp: float,
+    ) -> None:
+        if not self.is_valid_participant(participant_id):
+            raise PermissionError(f"unknown participant {participant_id!r}")
+        self.store["installs"].insert(
+            {
+                "install_id": install_id,
+                "participant_id": participant_id,
+                "android_id": android_id,
+                "registered_at": timestamp,
+            }
+        )
+
+    # -- snapshot collector engine -----------------------------------------------
+    def receive_chunk(self, kind: str, data: bytes) -> str:
+        """Ingest one compressed chunk; the returned SHA-256 is the
+        delivery acknowledgement the mobile app validates against."""
+        ack = chunk_hash(data)
+        self.stats.chunks_received += 1
+        self.stats.bytes_received += len(data)
+        try:
+            lines = gzip.decompress(data).decode().splitlines()
+        except (OSError, UnicodeDecodeError):
+            self.stats.malformed_chunks += 1
+            return ack
+        for line in lines:
+            if not line.strip():
+                continue
+            try:
+                payload = json.loads(line)
+                record = record_from_dict(payload)
+            except (ValueError, TypeError):
+                self.stats.malformed_chunks += 1
+                continue
+            self._insert_record(payload["_type"], payload, record)
+        return ack
+
+    def _insert_record(self, type_name: str, payload: dict, record) -> None:
+        collection = self.store[_COLLECTIONS[type_name]]
+        collection.insert(payload)
+        self.stats.records_inserted += 1
+        if self.review_crawler is None:
+            return
+        # Backend: follow every app seen on a participant device (§5).
+        if type_name == "initial":
+            for app in payload["installed_apps"]:
+                self.review_crawler.track_app(app["package"])
+        elif type_name == "app_change" and payload["action"] == "install":
+            self.review_crawler.track_app(payload["package"])
+
+    # -- queries used by the analyses ------------------------------------------------
+    def install_ids(self) -> list[str]:
+        return sorted(
+            {doc["install_id"] for doc in self.store["installs"].find()}
+        )
+
+    def initial_snapshot(self, install_id: str) -> dict | None:
+        return self.store["initial_snapshots"].find_one({"install_id": install_id})
+
+    def fast_runs(self, install_id: str) -> list[dict]:
+        return sorted(
+            self.store["fast_runs"].find({"install_id": install_id, "_type": "fast_run"}),
+            key=lambda d: d["start"],
+        )
+
+    def slow_runs(self, install_id: str) -> list[dict]:
+        return sorted(
+            self.store["slow_runs"].find({"install_id": install_id, "_type": "slow_run"}),
+            key=lambda d: d["start"],
+        )
+
+    def app_changes(self, install_id: str) -> list[dict]:
+        return sorted(
+            self.store["app_changes"].find({"install_id": install_id}),
+            key=lambda d: d["timestamp"],
+        )
+
+    def observation_interval(self, install_id: str) -> tuple[float, float] | None:
+        """[first, last] timestamp observed for an install (Appendix A)."""
+        timestamps: list[float] = []
+        initial = self.initial_snapshot(install_id)
+        if initial:
+            timestamps.append(initial["timestamp"])
+        for run in self.fast_runs(install_id):
+            timestamps.extend((run["start"], run["end"]))
+        for run in self.slow_runs(install_id):
+            timestamps.extend((run["start"], run["end"]))
+        if not timestamps:
+            return None
+        return min(timestamps), max(timestamps)
+
+    def snapshot_count(self, install_id: str) -> int:
+        """Exact snapshot count (expanding the RLE runs)."""
+        total = 0
+        for run in self.fast_runs(install_id):
+            total += 1 + int((run["end"] - run["start"]) // run["period"])
+        for run in self.slow_runs(install_id):
+            total += 1 + int((run["end"] - run["start"]) // run["period"])
+        return total
+
+    # -- fingerprinting (Appendix A) ------------------------------------------------
+    def install_fingerprint(self, install_id: str) -> InstallFingerprint | None:
+        interval = self.observation_interval(install_id)
+        install_doc = self.store["installs"].find_one({"install_id": install_id})
+        if interval is None or install_doc is None:
+            return None
+        initial = self.initial_snapshot(install_id)
+        apps = frozenset(
+            (a["package"], a["install_time"]) for a in (initial or {}).get("installed_apps", ())
+        )
+        accounts: set[str] = set()
+        for run in self.slow_runs(install_id):
+            accounts.update(identifier for _service, identifier in run["accounts"])
+        return InstallFingerprint(
+            install_id=install_id,
+            participant_id=install_doc["participant_id"],
+            android_id=install_doc["android_id"],
+            first_seen=interval[0],
+            last_seen=interval[1],
+            app_installs=apps,
+            accounts=frozenset(accounts),
+        )
+
+    def unique_devices(self) -> list[DeviceCluster]:
+        """Coalesce all installs into unique devices (Appendix A)."""
+        fingerprints = [
+            fp
+            for install_id in self.install_ids()
+            if (fp := self.install_fingerprint(install_id)) is not None
+        ]
+        return coalesce_installs(fingerprints)
+
+    def total_payout_usd(self) -> float:
+        total = 0.0
+        for install_id in self.install_ids():
+            interval = self.observation_interval(install_id)
+            if interval:
+                total += self.payments.payment_for(*interval)
+        return total

@@ -1,0 +1,136 @@
+"""In-memory document store with Mongo-like query operators.
+
+The paper's backend persists snapshots into MongoDB (§3).  This store
+provides the same access pattern for the analysis code: named
+collections of dict documents, a small operator language (``$eq``,
+``$ne``, ``$gt``, ``$gte``, ``$lt``, ``$lte``, ``$in``, ``$exists``),
+and single-field hash indexes for the hot lookups (by install id).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Any, Callable, Iterator
+
+__all__ = ["DocumentStore", "Collection"]
+
+
+_OPERATORS: dict[str, Callable[[Any, Any], bool]] = {
+    "$eq": lambda value, operand: value == operand,
+    "$ne": lambda value, operand: value != operand,
+    "$gt": lambda value, operand: value is not None and value > operand,
+    "$gte": lambda value, operand: value is not None and value >= operand,
+    "$lt": lambda value, operand: value is not None and value < operand,
+    "$lte": lambda value, operand: value is not None and value <= operand,
+    "$in": lambda value, operand: value in operand,
+    "$exists": lambda value, operand: (value is not None) == bool(operand),
+}
+
+
+def _matches(document: dict, query: dict) -> bool:
+    for fieldname, condition in query.items():
+        value = document.get(fieldname)
+        if isinstance(condition, dict) and any(k.startswith("$") for k in condition):
+            for op, operand in condition.items():
+                handler = _OPERATORS.get(op)
+                if handler is None:
+                    raise ValueError(f"unknown query operator {op!r}")
+                if not handler(value, operand):
+                    return False
+        elif value != condition:
+            return False
+    return True
+
+
+class Collection:
+    """One named collection of documents."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._documents: list[dict] = []
+        self._indexes: dict[str, dict[Any, list[int]]] = {}
+
+    def __len__(self) -> int:
+        return len(self._documents)
+
+    def insert(self, document: dict) -> None:
+        if not isinstance(document, dict):
+            raise TypeError("documents must be dicts")
+        position = len(self._documents)
+        self._documents.append(document)
+        for fieldname, index in self._indexes.items():
+            index[document.get(fieldname)].append(position)
+
+    def insert_many(self, documents) -> int:
+        count = 0
+        for document in documents:
+            self.insert(document)
+            count += 1
+        return count
+
+    def create_index(self, fieldname: str) -> None:
+        if fieldname in self._indexes:
+            return
+        index: dict[Any, list[int]] = defaultdict(list)
+        for position, document in enumerate(self._documents):
+            index[document.get(fieldname)].append(position)
+        self._indexes[fieldname] = index
+
+    def _candidates(self, query: dict) -> Iterator[dict]:
+        # Use an index when the query has an equality match on an
+        # indexed field; otherwise scan.
+        for fieldname, index in self._indexes.items():
+            condition = query.get(fieldname)
+            if condition is not None and not isinstance(condition, dict):
+                for position in index.get(condition, ()):
+                    yield self._documents[position]
+                return
+        yield from self._documents
+
+    def find(self, query: dict | None = None) -> list[dict]:
+        query = query or {}
+        return [doc for doc in self._candidates(query) if _matches(doc, query)]
+
+    def find_one(self, query: dict | None = None) -> dict | None:
+        query = query or {}
+        for doc in self._candidates(query):
+            if _matches(doc, query):
+                return doc
+        return None
+
+    def count(self, query: dict | None = None) -> int:
+        if not query:
+            return len(self._documents)
+        return len(self.find(query))
+
+    def distinct(self, fieldname: str, query: dict | None = None) -> list:
+        seen: set = set()
+        for doc in self.find(query):
+            value = doc.get(fieldname)
+            if isinstance(value, (list, tuple)):
+                seen.update(value)
+            else:
+                seen.add(value)
+        seen.discard(None)
+        return sorted(seen, key=repr)
+
+
+class DocumentStore:
+    """A set of named collections (the Mongo database)."""
+
+    def __init__(self) -> None:
+        self._collections: dict[str, Collection] = {}
+
+    def collection(self, name: str) -> Collection:
+        if name not in self._collections:
+            self._collections[name] = Collection(name)
+        return self._collections[name]
+
+    def __getitem__(self, name: str) -> Collection:
+        return self.collection(name)
+
+    def collection_names(self) -> list[str]:
+        return sorted(self._collections)
+
+    def total_documents(self) -> int:
+        return sum(len(c) for c in self._collections.values())

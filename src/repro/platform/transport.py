@@ -1,0 +1,70 @@
+"""Simulated TLS channel between the mobile app and the web app.
+
+§3: data travels over TLS; the server acknowledges each chunk with the
+crypto hash of what it received.  The simulated channel supports loss
+(no acknowledgement returned) and corruption (a wrong hash comes back),
+both of which the :class:`~repro.platform.buffer.DataBuffer` retry loop
+must survive — property tests exercise exactly that.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .buffer import chunk_hash
+
+__all__ = ["Transport", "LossyTransport"]
+
+
+class Transport:
+    """Reliable in-memory channel delivering chunks to a receiver.
+
+    ``receiver`` must expose ``receive_chunk(kind, data) -> str`` and
+    return the SHA-256 of the bytes it durably stored.
+    """
+
+    def __init__(self, receiver) -> None:
+        self._receiver = receiver
+        self.chunks_sent = 0
+        self.bytes_sent = 0
+
+    def send(self, kind: str, data: bytes) -> str | None:
+        self.chunks_sent += 1
+        self.bytes_sent += len(data)
+        return self._receiver.receive_chunk(kind, data)
+
+
+class LossyTransport(Transport):
+    """Channel with configurable loss and corruption probabilities."""
+
+    def __init__(
+        self,
+        receiver,
+        loss_probability: float = 0.0,
+        corruption_probability: float = 0.0,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__(receiver)
+        if not 0.0 <= loss_probability <= 1.0:
+            raise ValueError("loss_probability must be in [0, 1]")
+        if not 0.0 <= corruption_probability <= 1.0:
+            raise ValueError("corruption_probability must be in [0, 1]")
+        self.loss_probability = loss_probability
+        self.corruption_probability = corruption_probability
+        self._rng = rng or np.random.default_rng(0)
+        self.chunks_lost = 0
+        self.chunks_corrupted = 0
+
+    def send(self, kind: str, data: bytes) -> str | None:
+        self.chunks_sent += 1
+        self.bytes_sent += len(data)
+        if self._rng.random() < self.loss_probability:
+            self.chunks_lost += 1
+            return None  # chunk vanished in transit: no ack
+        if self._rng.random() < self.corruption_probability:
+            self.chunks_corrupted += 1
+            corrupted = bytes([data[0] ^ 0xFF]) + data[1:]
+            # Server stores nothing (decompression fails) but echoes the
+            # hash of what it received, which will not match the sender's.
+            return chunk_hash(corrupted)
+        return self._receiver.receive_chunk(kind, data)

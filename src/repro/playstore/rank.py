@@ -1,0 +1,96 @@
+"""Keyword-search rank model for the simulated Play Store.
+
+§2 of the paper: "Some of the factors with most impact on search rank
+are the number of installs and reviews, and the aggregate rating of the
+app" and developers "need to achieve top-5 rank in keyword searches".
+This module scores apps on those factors so the simulation (and the
+evasion-cost example) can quantify what an ASO campaign buys.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .catalog import App, Catalog
+
+__all__ = ["RankWeights", "SearchRankModel", "RankedApp"]
+
+
+@dataclass(frozen=True)
+class RankWeights:
+    """Relative weight of each ranking factor (log-scaled counts)."""
+
+    installs: float = 1.0
+    reviews: float = 0.8
+    rating: float = 1.5
+    relevance: float = 2.0
+
+
+@dataclass(frozen=True)
+class RankedApp:
+    package: str
+    score: float
+    rank: int
+
+
+class SearchRankModel:
+    """Deterministic search scoring over the catalog.
+
+    ``score = w_i * log1p(installs) + w_r * log1p(reviews)
+            + w_s * rating + w_k * keyword_relevance``
+
+    Keyword relevance is a crude token match on title/package — enough
+    to make campaigns for a target keyword move an app up its result
+    list, which is the effect ASO buys.
+    """
+
+    def __init__(self, catalog: Catalog, weights: RankWeights | None = None) -> None:
+        self._catalog = catalog
+        self.weights = weights or RankWeights()
+
+    def score(self, app: App, keyword: str | None = None) -> float:
+        w = self.weights
+        base = (
+            w.installs * math.log1p(max(app.install_count, 0))
+            + w.reviews * math.log1p(max(app.review_count, 0))
+            + w.rating * app.aggregate_rating
+        )
+        if keyword:
+            base += w.relevance * self._relevance(app, keyword)
+        return base
+
+    @staticmethod
+    def _relevance(app: App, keyword: str) -> float:
+        keyword = keyword.lower()
+        title_tokens = app.title.lower().split()
+        if keyword in title_tokens:
+            return 2.0
+        if keyword in app.title.lower() or keyword in app.package.lower():
+            return 1.0
+        if keyword == app.category.lower():
+            return 0.5
+        return 0.0
+
+    def search(self, keyword: str, top: int = 10) -> list[RankedApp]:
+        """Top-``top`` Play-hosted apps for a keyword query."""
+        scored = [
+            (self.score(app, keyword), app.package)
+            for app in self._catalog.hosted_on_play()
+        ]
+        scored.sort(key=lambda pair: (-pair[0], pair[1]))
+        return [
+            RankedApp(package=package, score=score, rank=i + 1)
+            for i, (score, package) in enumerate(scored[:top])
+        ]
+
+    def rank_of(self, package: str, keyword: str) -> int:
+        """1-based rank of ``package`` among all Play apps for a keyword."""
+        target = self._catalog.get(package)
+        target_key = (-self.score(target, keyword), package)
+        better = 0
+        for app in self._catalog.hosted_on_play():
+            key = (-self.score(app, keyword), app.package)
+            if key < target_key:
+                better += 1
+        return better + 1

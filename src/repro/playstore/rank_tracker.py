@@ -1,0 +1,108 @@
+"""Rank tracking: daily keyword-rank time series during campaigns.
+
+§2 motivates ASO with the search-rank payoff ("developers need to
+achieve top-5 rank in keyword searches").  The tracker records an app's
+rank for a keyword day by day as installs/reviews/rating evolve, and
+flags promotion-indicative *rank jumps* — the aggregate-level signal
+download-fraud studies (Dou et al., §10) key on, complementing
+RacketStore's device-level detection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .catalog import Catalog
+from .rank import SearchRankModel
+
+__all__ = ["RankSample", "RankJump", "RankTracker"]
+
+
+@dataclass(frozen=True)
+class RankSample:
+    """One (day, rank) observation for one (app, keyword) pair."""
+
+    day: int
+    rank: int
+    install_count: int
+    review_count: int
+    rating: float
+
+
+@dataclass(frozen=True)
+class RankJump:
+    """A promotion-indicative rank improvement between two samples."""
+
+    package: str
+    keyword: str
+    from_day: int
+    to_day: int
+    from_rank: int
+    to_rank: int
+
+    @property
+    def places_gained(self) -> int:
+        return self.from_rank - self.to_rank
+
+
+class RankTracker:
+    """Daily rank recorder over the live catalog state."""
+
+    def __init__(self, catalog: Catalog, model: SearchRankModel | None = None) -> None:
+        self._catalog = catalog
+        self._model = model or SearchRankModel(catalog)
+        self._series: dict[tuple[str, str], list[RankSample]] = {}
+
+    def track(self, package: str, keyword: str) -> None:
+        """Start (idempotently) tracking an (app, keyword) pair."""
+        self._series.setdefault((package, keyword), [])
+
+    def tracked(self) -> list[tuple[str, str]]:
+        return sorted(self._series)
+
+    def record_day(self, day: int) -> None:
+        """Sample the rank of every tracked pair for one day."""
+        for (package, keyword), series in self._series.items():
+            if package not in self._catalog:
+                continue
+            app = self._catalog.get(package)
+            series.append(
+                RankSample(
+                    day=day,
+                    rank=self._model.rank_of(package, keyword),
+                    install_count=app.install_count,
+                    review_count=app.review_count,
+                    rating=app.aggregate_rating,
+                )
+            )
+
+    def series(self, package: str, keyword: str) -> list[RankSample]:
+        return list(self._series.get((package, keyword), ()))
+
+    def best_rank(self, package: str, keyword: str) -> int | None:
+        series = self.series(package, keyword)
+        return min((s.rank for s in series), default=None)
+
+    def detect_jumps(self, min_places: int = 10, window_days: int = 3) -> list[RankJump]:
+        """Rank improvements of >= ``min_places`` within ``window_days``
+        — the burst-like aggregate signal a store-side monitor would
+        flag for closer (device-level) inspection."""
+        jumps: list[RankJump] = []
+        for (package, keyword), series in self._series.items():
+            for i, start in enumerate(series):
+                for later in series[i + 1:]:
+                    if later.day - start.day > window_days:
+                        break
+                    if start.rank - later.rank >= min_places:
+                        jumps.append(
+                            RankJump(
+                                package=package,
+                                keyword=keyword,
+                                from_day=start.day,
+                                to_day=later.day,
+                                from_rank=start.rank,
+                                to_rank=later.rank,
+                            )
+                        )
+                        break
+        return sorted(jumps, key=lambda j: (j.from_day, j.package))

@@ -1,0 +1,7 @@
+"""Report rendering helpers shared by benchmarks and examples, plus
+raw figure-data CSV export for external plotting."""
+
+from .series import export_figure_data
+from .tables import format_value, paper_vs_measured_rows, render_table
+
+__all__ = ["export_figure_data", "format_value", "paper_vs_measured_rows", "render_table"]

@@ -1,0 +1,138 @@
+"""Figure-data export: raw series behind each figure, as CSV.
+
+The benchmark reports are ASCII tables; downstream users who want to
+*plot* the figures (with matplotlib, gnuplot, R, ...) need the raw
+series.  ``export_figure_data`` writes one CSV per figure into a
+directory, mirroring the paper's plots: scatter points for Figs 4/9/10/
+12/15, per-review delays for Fig 7, per-device counts for Figs 5/6/8.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+from ..analysis import (
+    compute_accounts,
+    compute_churn,
+    compute_daily_use,
+    compute_engagement,
+    compute_install_to_review,
+    compute_malware,
+    compute_stopped_apps,
+)
+
+__all__ = ["export_figure_data"]
+
+
+def _write(path: Path, header: list[str], rows) -> int:
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(header)
+        count = 0
+        for row in rows:
+            writer.writerow(row)
+            count += 1
+    return count
+
+
+def export_figure_data(workbench, out_dir: str | Path) -> dict[str, int]:
+    """Write one CSV per figure; returns figure-id -> row count."""
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    observations = workbench.observations
+    written: dict[str, int] = {}
+
+    engagement = compute_engagement(workbench.all_observations)
+    written["fig04"] = _write(
+        out / "fig04_engagement.csv",
+        ["install_id", "group", "snapshots_per_day", "active_days"],
+        (
+            (p.install_id, "worker" if p.is_worker else "regular",
+             f"{p.snapshots_per_day:.2f}", p.active_days)
+            for p in engagement.points
+        ),
+    )
+
+    accounts = compute_accounts(observations)
+    written["fig05"] = _write(
+        out / "fig05_accounts.csv",
+        ["group", "gmail_accounts", "account_types", "non_gmail_accounts"],
+        (
+            ("worker" if o.is_worker else "regular",
+             o.n_gmail_accounts, o.n_account_types, o.n_non_gmail_accounts)
+            for o in observations
+            if o.reported_account_data and o.reported_accounts
+        ),
+    )
+
+    written["fig06"] = _write(
+        out / "fig06_installed_reviewed.csv",
+        ["group", "installed", "installed_and_reviewed", "total_reviews"],
+        (
+            ("worker" if o.is_worker else "regular",
+             o.n_installed_apps, o.n_installed_and_reviewed, o.total_account_reviews)
+            for o in observations
+            if o.initial is not None
+        ),
+    )
+
+    i2r = compute_install_to_review(observations)
+    written["fig07"] = _write(
+        out / "fig07_install_to_review.csv",
+        ["group", "delay_days"],
+        [("worker", f"{d:.4f}") for d in i2r.worker_delays_days]
+        + [("regular", f"{d:.4f}") for d in i2r.regular_delays_days],
+    )
+
+    stopped = compute_stopped_apps(observations)
+    written["fig08"] = _write(
+        out / "fig08_stopped_apps.csv",
+        ["group", "stopped_apps"],
+        [("worker", v) for v in stopped.worker_counts]
+        + [("regular", v) for v in stopped.regular_counts],
+    )
+
+    churn = compute_churn(observations)
+    written["fig09"] = _write(
+        out / "fig09_churn.csv",
+        ["install_id", "group", "daily_installs", "daily_uninstalls"],
+        (
+            (p.install_id, "worker" if p.is_worker else "regular",
+             f"{p.daily_installs:.3f}", f"{p.daily_uninstalls:.3f}")
+            for p in churn.points
+        ),
+    )
+
+    daily = compute_daily_use(observations)
+    written["fig10"] = _write(
+        out / "fig10_daily_use.csv",
+        ["install_id", "group", "apps_used_per_day", "apps_installed"],
+        (
+            (p.install_id, "worker" if p.is_worker else "regular",
+             f"{p.apps_used_per_day:.3f}", p.apps_installed)
+            for p in daily.points
+        ),
+    )
+
+    malware = compute_malware(observations, workbench.data.vt_client, workbench.data.catalog)
+    written["fig12"] = _write(
+        out / "fig12_malware.csv",
+        ["apk_hash", "vt_flags", "worker_devices", "regular_devices"],
+        (
+            (s.apk_hash, s.vt_flags, s.worker_devices, s.regular_devices)
+            for s in malware.samples
+        ),
+    )
+
+    verdicts = workbench.pipeline_result.worker_verdicts()
+    written["fig15"] = _write(
+        out / "fig15_suspiciousness.csv",
+        ["install_id", "app_suspiciousness", "installed_and_reviewed", "predicted_worker"],
+        (
+            (v.install_id, f"{v.app_suspiciousness:.4f}",
+             v.n_installed_and_reviewed, int(v.predicted_worker))
+            for v in verdicts
+        ),
+    )
+    return written

@@ -1,0 +1,51 @@
+"""ASCII rendering for experiment reports: tables and paper-vs-measured
+rows printed by the benchmark harness and the examples."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["render_table", "format_value", "paper_vs_measured_rows"]
+
+
+def format_value(value) -> str:
+    """Compact human formatting for table cells."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "-"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 100:
+            return f"{value:.1f}"
+        return f"{value:.3f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence]) -> str:
+    """Render a fixed-width ASCII table."""
+    table = [[format_value(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in table:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "| " + " | ".join(c.ljust(widths[i]) for i, c in enumerate(cells)) + " |"
+
+    separator = "+-" + "-+-".join("-" * w for w in widths) + "-+"
+    out = [separator, line(list(headers)), separator]
+    out.extend(line(row) for row in table)
+    out.append(separator)
+    return "\n".join(out)
+
+
+def paper_vs_measured_rows(entries: Sequence[tuple[str, float, float]]) -> str:
+    """Render (metric, paper value, measured value) triples with the
+    measured/paper ratio so drift is visible at a glance."""
+    rows = []
+    for name, paper, measured in entries:
+        ratio = measured / paper if paper else float("nan")
+        rows.append((name, paper, measured, ratio))
+    return render_table(["metric", "paper", "measured", "ratio"], rows)

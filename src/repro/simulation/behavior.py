@@ -1,0 +1,455 @@
+"""Behaviour engine: turns personas into concrete device histories.
+
+Two phases per device:
+
+* :meth:`BehaviorEngine.setup_device` builds the *pre-study* state —
+  registered accounts, installed apps with historical install times,
+  stopped apps, and the review history of every account (§6.2/§6.3 all
+  measure state that mostly predates the RacketStore install);
+* :meth:`BehaviorEngine.simulate_day` advances one study day — foreground
+  sessions, app churn, promotion jobs pulled from the campaign board,
+  and scheduled review postings with persona-calibrated install-to-
+  review delays (Figure 7).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..playstore.catalog import App, Catalog
+from ..playstore.reviews import ReviewStore
+from .campaigns import CampaignBoard
+from .clock import SECONDS_PER_DAY, hours
+from .config import SimulationConfig
+from .device import SimDevice
+from .personas import Persona
+
+__all__ = ["BehaviorEngine", "PendingReview"]
+
+
+@dataclass(order=True, slots=True)
+class PendingReview:
+    """A review scheduled for the future (heap-ordered by due time)."""
+
+    due: float
+    package: str = field(compare=False)
+    min_rating: int = field(compare=False)
+    stop_after: bool = field(compare=False, default=False)
+
+
+class BehaviorEngine:
+    """Generates device histories against the shared world state."""
+
+    def __init__(
+        self,
+        config: SimulationConfig,
+        catalog: Catalog,
+        review_store: ReviewStore,
+        board: CampaignBoard,
+        rng: np.random.Generator,
+    ) -> None:
+        self.config = config
+        self.catalog = catalog
+        self.review_store = review_store
+        self.board = board
+        self.rng = rng
+
+        apps = catalog.all_apps()
+        self._popular = [a for a in apps if a.on_play_store and not a.preinstalled
+                         and not a.is_antivirus and a.review_count >= config.popular_review_threshold]
+        # Zipf installation weights over the popular pool: everyone
+        # concentrates on the head, but the long tail is what lets some
+        # popular apps appear only on regular devices (§7.2 labeling).
+        ranks = np.arange(1, len(self._popular) + 1, dtype=np.float64)
+        weights = ranks ** -config.zipf_exponent
+        self._popular_weights = weights / weights.sum()
+        self._promoted_pool = sorted(board.advertised_packages())
+        self._third_party = [a for a in apps if not a.on_play_store]
+        self._av_apps = catalog.antivirus_apps()
+
+        self._pending: dict[str, list[PendingReview]] = {}
+        self._favorites: dict[str, list[str]] = {}
+
+    # ------------------------------------------------------------------
+    # Setup: pre-study history
+    # ------------------------------------------------------------------
+    def setup_device(self, device: SimDevice, persona: Persona, factory) -> None:
+        rng = self.rng
+        config = self.config
+
+        for account in factory.accounts_for_persona(persona):
+            device.register_account(account)
+
+        # Pre-installed system apps, present since "device purchase".
+        for app in self.catalog.preinstalled():
+            device.install(
+                app,
+                timestamp=-config.history_days * SECONDS_PER_DAY,
+                grant_probability=1.0,
+                rng=rng,
+                preinstalled=True,
+            )
+
+        # Historical user installs: personal apps plus (for workers) promo
+        # apps still retained from past campaigns.  Promotion volume
+        # scales with the *base* install count; the hoarder tail is all
+        # personal use.
+        n_base, n_hoard = persona.sample_initial_app_mix(rng)
+        n_promo = int(round(n_base * persona.initial_promo_fraction))
+        n_personal = n_base - n_promo + n_hoard
+
+        installed_apps: list[tuple[App, bool]] = []
+        personal_choices = rng.choice(
+            len(self._popular),
+            size=min(n_personal, len(self._popular)),
+            replace=False,
+            p=self._popular_weights,
+        )
+        installed_apps.extend((self._popular[i], False) for i in personal_choices)
+        if n_promo and self._promoted_pool:
+            promo_choices = rng.choice(
+                len(self._promoted_pool), size=min(n_promo, len(self._promoted_pool)), replace=False
+            )
+            installed_apps.extend(
+                (self.catalog.get(self._promoted_pool[i]), True) for i in promo_choices
+            )
+
+        for app, promo in installed_apps:
+            install_time = -float(rng.uniform(1.0, config.history_days)) * SECONDS_PER_DAY
+            device.install(
+                app,
+                timestamp=install_time,
+                grant_probability=persona.dangerous_permission_grant_prob,
+                rng=rng,
+                promo=promo,
+            )
+
+        for _ in range(persona.sample_third_party_apps(rng)):
+            if not self._third_party:
+                break
+            app = self._third_party[int(rng.integers(0, len(self._third_party)))]
+            if app.package in device.installed:
+                continue
+            device.install(
+                app,
+                timestamp=-float(rng.uniform(1.0, config.history_days / 2)) * SECONDS_PER_DAY,
+                grant_probability=persona.dangerous_permission_grant_prob,
+                rng=rng,
+            )
+
+        if self._av_apps and rng.random() < persona.av_app_prob:
+            app = self._av_apps[int(rng.integers(0, len(self._av_apps)))]
+            device.install(app, timestamp=-float(rng.uniform(1, 200)) * SECONDS_PER_DAY,
+                           grant_probability=persona.dangerous_permission_grant_prob, rng=rng)
+
+        self._assign_stopped_state(device, persona)
+        self._favorites[device.device_id] = self._pick_favorites(device)
+        self._generate_review_history(device, persona)
+
+    def _pick_favorites(self, device: SimDevice) -> list[str]:
+        """Apps the owner actually uses day to day (sessions draw from
+        these; §8.1 notes even pre-installed app use is discriminative)."""
+        rng = self.rng
+        personal = [
+            rec.package
+            for rec in device.installed.values()
+            if not rec.promo_install
+        ]
+        k = min(len(personal), max(4, int(rng.integers(6, 14))))
+        if k == 0:
+            return []
+        chosen = rng.choice(len(personal), size=k, replace=False)
+        return [personal[i] for i in chosen]
+
+    def _assign_stopped_state(self, device: SimDevice, persona: Persona) -> None:
+        """Mark the persona-appropriate number of apps stopped; promoted
+        apps are stopped preferentially (§6.3: workers never open many of
+        the apps they install)."""
+        rng = self.rng
+        target = persona.sample_stopped_apps(rng)
+        user_apps = device.user_installed()
+        promo_first = sorted(user_apps, key=lambda rec: (not rec.promo_install, rec.package))
+        for i, record in enumerate(promo_first):
+            record.stopped = i < target
+        # Pre-installed apps are never stopped.
+        for record in device.installed.values():
+            if record.preinstalled:
+                record.stopped = False
+
+    def _review_rating(self, promo: bool) -> int:
+        """Promo reviews are 4-5 stars; organic ratings span the scale."""
+        rng = self.rng
+        if promo:
+            return int(rng.choice((4, 5), p=(0.2, 0.8)))
+        return int(rng.choice((1, 2, 3, 4, 5), p=(0.07, 0.06, 0.12, 0.3, 0.45)))
+
+    def _generate_review_history(self, device: SimDevice, persona: Persona) -> None:
+        """Create the pre-study Play-review footprint of the device's
+        accounts: reviews for installed apps (the Fig 6-center and Fig 7
+        joins) plus reviews for apps no longer installed (Fig 6-right)."""
+        rng = self.rng
+        gmail = device.gmail_accounts()
+        if not gmail:
+            return
+        config = self.config
+        volume_mult = (
+            config.worker_review_volume_multiplier if persona.is_worker else 1.0
+        )
+        delay_mult = (
+            config.worker_review_delay_multiplier if persona.is_worker else 1.0
+        )
+
+        posted = 0
+        # Reviews for currently installed apps.
+        for record in device.user_installed():
+            if record.promo_install:
+                review_probability = persona.review_prob_per_promo_install * volume_mult
+                n_accounts = min(1 + int(rng.poisson(1.4)), len(gmail))
+            else:
+                review_probability = persona.review_prob_per_personal_install
+                n_accounts = 1
+            if rng.random() >= review_probability:
+                continue
+            reviewers = rng.choice(len(gmail), size=n_accounts, replace=False)
+            for reviewer_index in reviewers:
+                account = gmail[int(reviewer_index)]
+                delay_days = persona.sample_review_delay_days(rng) * delay_mult
+                review_time = record.install_time + delay_days * SECONDS_PER_DAY
+                if review_time >= 0.0:
+                    # Falls inside the study window: schedule it live.
+                    # It still counts toward the device's review output,
+                    # otherwise the historical top-up below would refill
+                    # the quota and negate evasion delay multipliers.
+                    heapq.heappush(
+                        self._pending.setdefault(device.device_id, []),
+                        PendingReview(
+                            due=review_time,
+                            package=record.package,
+                            min_rating=4 if record.promo_install else 1,
+                        ),
+                    )
+                    posted += 1
+                    continue
+                self.review_store.post_review(
+                    record.package,
+                    account.google_id,
+                    self._review_rating(record.promo_install),
+                    review_time,
+                )
+                device.record_review_event(record.package, review_time)
+                posted += 1
+
+        # Reviews for apps since uninstalled (past campaigns): these pad
+        # the "total reviews from registered accounts" histogram.
+        target_total = int(persona.sample_historical_reviews(rng) * volume_mult)
+        pool = self._promoted_pool if persona.is_worker else [a.package for a in self._popular]
+        # Exclude currently installed apps: these reviews stand for past
+        # campaigns whose apps were since uninstalled, so they must not
+        # pollute the install-to-review join (Fig 7).
+        installed_now = device.installed_packages()
+        pool = [package for package in pool if package not in installed_now]
+        attempts = 0
+        while posted < target_total and pool and attempts < target_total * 3:
+            attempts += 1
+            account = gmail[int(rng.integers(0, len(gmail)))]
+            package = pool[int(rng.integers(0, len(pool)))]
+            if self.review_store.has_reviewed(account.google_id, package):
+                continue
+            review_time = -float(rng.uniform(0.5, self.config.history_days)) * SECONDS_PER_DAY
+            self.review_store.post_review(
+                package,
+                account.google_id,
+                self._review_rating(persona.is_worker),
+                review_time,
+            )
+            posted += 1
+
+    # ------------------------------------------------------------------
+    # Study-time simulation
+    # ------------------------------------------------------------------
+    def simulate_day(self, device: SimDevice, persona: Persona, day_start: float) -> None:
+        """Advance one study day for one device."""
+        self._run_sessions(device, persona, day_start)
+        promo_installs = (
+            self._run_promotion(device, persona, day_start) if persona.is_worker else 0
+        )
+        self._run_churn(device, persona, day_start, promo_installs)
+        self._post_due_reviews(device, persona, day_start + SECONDS_PER_DAY)
+
+    def _waking_time(self, day_start: float) -> tuple[float, float]:
+        """Waking interval: 7am - midnight local time."""
+        return day_start + hours(7), day_start + hours(24)
+
+    def _run_sessions(self, device: SimDevice, persona: Persona, day_start: float) -> None:
+        rng = self.rng
+        wake_start, wake_end = self._waking_time(day_start)
+        favorites = self._favorites.get(device.device_id) or []
+        for _ in range(persona.sample_sessions(rng)):
+            session_start = float(rng.uniform(wake_start, wake_end - 60.0))
+            t = session_start
+            for _ in range(persona.sample_apps_in_session(rng)):
+                if favorites and rng.random() < 0.8:
+                    package = favorites[int(rng.integers(0, len(favorites)))]
+                else:
+                    candidates = list(device.installed)
+                    package = candidates[int(rng.integers(0, len(candidates)))]
+                if package not in device.installed:
+                    continue
+                duration = persona.sample_session_minutes(rng) * 60.0
+                device.open_app(package, t, duration)
+                t += duration + float(rng.uniform(1.0, 20.0))
+
+    def _run_churn(
+        self, device: SimDevice, persona: Persona, day_start: float, promo_installs: int = 0
+    ) -> None:
+        """Personal install/uninstall churn (Fig 9).  Uninstall volume
+        tracks *total* install volume (promo installs included): workers
+        clear out expired-retention promotions to free storage."""
+        rng = self.rng
+        wake_start, wake_end = self._waking_time(day_start)
+        n_installs = persona.sample_daily_installs(rng)
+        for _ in range(n_installs):
+            # Retry a few draws: the owner picks something they do not
+            # already have (avoids undercounting churn on small catalogs).
+            app = None
+            for _attempt in range(6):
+                candidate = self._popular[
+                    int(rng.choice(len(self._popular), p=self._popular_weights))
+                ]
+                if candidate.package not in device.installed:
+                    app = candidate
+                    break
+            if app is None:
+                continue
+            timestamp = float(rng.uniform(wake_start, wake_end))
+            device.install(
+                app,
+                timestamp=timestamp,
+                grant_probability=persona.dangerous_permission_grant_prob,
+                rng=rng,
+            )
+            if rng.random() < persona.open_after_install_prob:
+                # The owner tries the app right away (clears its
+                # Android stopped state).
+                device.open_app(
+                    app.package,
+                    timestamp + 30.0,
+                    persona.sample_session_minutes(rng) * 60.0,
+                )
+            if rng.random() < persona.review_prob_per_personal_install:
+                delay_days = persona.sample_review_delay_days(rng)
+                heapq.heappush(
+                    self._pending.setdefault(device.device_id, []),
+                    PendingReview(
+                        due=timestamp + delay_days * SECONDS_PER_DAY,
+                        package=app.package,
+                        min_rating=1,
+                    ),
+                )
+
+        n_uninstalls = persona.sample_daily_uninstalls(rng, n_installs + promo_installs)
+        removable = [
+            rec.package
+            for rec in device.user_installed()
+            if rec.retention_until < day_start or not rec.promo_install
+        ]
+        rng.shuffle(removable)
+        for package in removable[:n_uninstalls]:
+            # An app installed earlier the same day must be uninstalled
+            # *after* its install event (the delta stream is ordered).
+            earliest = max(
+                wake_start, device.installed[package].install_time + 120.0
+            )
+            if earliest >= wake_end:
+                continue
+            device.uninstall(package, float(rng.uniform(earliest, wake_end)))
+
+    def _run_promotion(self, device: SimDevice, persona: Persona, day_start: float) -> int:
+        """Pull jobs from the board: install, schedule the paid review,
+        sometimes stop the app afterwards (§6.3 stopped-apps findings).
+        Returns the number of promo installs performed."""
+        rng = self.rng
+        wake_start, wake_end = self._waking_time(day_start)
+        config = self.config
+
+        # Retention checks: clients demand proof the app stays installed
+        # and gets used, so workers briefly open a couple of promoted
+        # apps most days (§6.3: retention installs; this is also why the
+        # paper's foreground data could not cleanly separate promo apps).
+        promos = device.promo_installed()
+        if promos:
+            for _ in range(int(rng.integers(0, 3))):
+                record = promos[int(rng.integers(0, len(promos)))]
+                device.open_app(
+                    record.package,
+                    float(rng.uniform(wake_start, wake_end - 300.0)),
+                    float(rng.uniform(30.0, 240.0)),
+                )
+
+        installs_done = 0
+        for _ in range(persona.sample_promo_installs(rng)):
+            job = self.board.next_job(exclude_packages=device.installed_packages())
+            if job is None:
+                return installs_done
+            timestamp = float(rng.uniform(wake_start, wake_end))
+            device.install(
+                self.catalog.get(job.app_package),
+                timestamp=timestamp,
+                grant_probability=persona.dangerous_permission_grant_prob,
+                rng=rng,
+                promo=True,
+                retention_days=job.retention_days,
+            )
+            installs_done += 1
+            if rng.random() < persona.open_after_install_prob:
+                device.open_app(job.app_package, timestamp + 30.0, 90.0)
+            if job.wants_review and rng.random() < persona.review_prob_per_promo_install * config.worker_review_volume_multiplier:
+                delay_days = (
+                    persona.sample_review_delay_days(rng)
+                    * config.worker_review_delay_multiplier
+                )
+                heapq.heappush(
+                    self._pending.setdefault(device.device_id, []),
+                    PendingReview(
+                        due=timestamp + delay_days * SECONDS_PER_DAY,
+                        package=job.app_package,
+                        min_rating=job.min_rating,
+                        stop_after=bool(rng.random() < 0.35),
+                    ),
+                )
+        return installs_done
+
+    def _post_due_reviews(self, device: SimDevice, persona: Persona, until: float) -> None:
+        """Post every scheduled review whose time has come, from a device
+        account that has not reviewed that app yet (one review per
+        account per app — the Play Store rule)."""
+        queue = self._pending.get(device.device_id)
+        if not queue:
+            return
+        rng = self.rng
+        while queue and queue[0].due <= until:
+            pending = heapq.heappop(queue)
+            if pending.package not in device.installed:
+                continue  # app uninstalled before the review came due
+            gmail = device.gmail_accounts()
+            fresh = [
+                a
+                for a in gmail
+                if not self.review_store.has_reviewed(a.google_id, pending.package)
+            ]
+            if not fresh:
+                continue
+            account = fresh[int(rng.integers(0, len(fresh)))]
+            rating = max(pending.min_rating, self._review_rating(pending.min_rating >= 4))
+            self.review_store.post_review(
+                pending.package, account.google_id, rating, pending.due
+            )
+            device.record_review_event(pending.package, pending.due)
+            if pending.stop_after:
+                device.stop_app(pending.package, pending.due + 60.0)
+
+    def pending_reviews(self, device_id: str) -> list[PendingReview]:
+        return sorted(self._pending.get(device_id, []))

@@ -1,0 +1,147 @@
+"""ASO campaigns and the communication board that distributes them.
+
+§2: developers hire ASO organisations; admins post jobs to communication
+boards (Facebook/WhatsApp/Telegram groups); workers pick up jobs that
+specify installs, retention intervals and high-rated reviews.  The board
+is also the source of the §7.2 suspicious-app labels: "it was advertised
+by workers for promotion on the Facebook groups we infiltrated".
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..playstore.catalog import App
+
+__all__ = ["Campaign", "CampaignBoard", "PromoJob"]
+
+
+@dataclass(slots=True)
+class Campaign:
+    """One paid promotion engagement for one app."""
+
+    campaign_id: int
+    app_package: str
+    target_installs: int
+    target_reviews: int
+    min_rating: int = 4
+    retention_days: float = 7.0
+    pay_per_install_usd: float = 0.35
+    pay_per_review_usd: float = 0.70
+    delivered_installs: int = 0
+    delivered_reviews: int = 0
+
+    @property
+    def installs_remaining(self) -> int:
+        return max(0, self.target_installs - self.delivered_installs)
+
+    @property
+    def reviews_remaining(self) -> int:
+        return max(0, self.target_reviews - self.delivered_reviews)
+
+    @property
+    def complete(self) -> bool:
+        return self.installs_remaining == 0 and self.reviews_remaining == 0
+
+    @property
+    def payout_usd(self) -> float:
+        """Total worker earnings the campaign has paid out so far."""
+        return (
+            self.delivered_installs * self.pay_per_install_usd
+            + self.delivered_reviews * self.pay_per_review_usd
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class PromoJob:
+    """One unit of work handed to a worker: install (and maybe review)."""
+
+    campaign_id: int
+    app_package: str
+    wants_review: bool
+    min_rating: int
+    retention_days: float
+
+
+class CampaignBoard:
+    """The Facebook-group-like job board.
+
+    Tracks every campaign ever advertised (``advertised_packages`` feeds
+    the suspicious-label rule) and hands out jobs, preferring campaigns
+    with the most remaining work so installs spread across many worker
+    devices — the co-install pattern the labeling rule exploits.
+    """
+
+    def __init__(self, rng: np.random.Generator) -> None:
+        self._rng = rng
+        self._campaigns: dict[int, Campaign] = {}
+        self._counter = itertools.count(1)
+
+    def post_campaign(
+        self,
+        app: App,
+        target_installs: int | None = None,
+        target_reviews: int | None = None,
+        retention_days: float | None = None,
+    ) -> Campaign:
+        campaign = Campaign(
+            campaign_id=next(self._counter),
+            app_package=app.package,
+            target_installs=target_installs
+            if target_installs is not None
+            else int(self._rng.integers(40, 400)),
+            target_reviews=target_reviews
+            if target_reviews is not None
+            else int(self._rng.integers(20, 200)),
+            min_rating=int(self._rng.choice((4, 5), p=(0.3, 0.7))),
+            retention_days=retention_days
+            if retention_days is not None
+            else float(self._rng.choice((3.0, 7.0, 14.0, 30.0))),
+        )
+        self._campaigns[campaign.campaign_id] = campaign
+        return campaign
+
+    def campaigns(self) -> list[Campaign]:
+        return list(self._campaigns.values())
+
+    def get(self, campaign_id: int) -> Campaign:
+        return self._campaigns[campaign_id]
+
+    def advertised_packages(self) -> set[str]:
+        """Every package ever promoted on the board (§7.2 label source)."""
+        return {c.app_package for c in self._campaigns.values()}
+
+    def next_job(self, exclude_packages: set[str] | None = None) -> PromoJob | None:
+        """Hand out the next install job, skipping apps the worker's
+        device already has installed."""
+        exclude = exclude_packages or set()
+        open_campaigns = [
+            c
+            for c in self._campaigns.values()
+            if c.installs_remaining > 0 and c.app_package not in exclude
+        ]
+        if not open_campaigns:
+            return None
+        # Most-remaining-first with random tie-breaking spreads installs
+        # across devices.
+        weights = np.array([c.installs_remaining for c in open_campaigns], dtype=float)
+        chosen = open_campaigns[
+            int(self._rng.choice(len(open_campaigns), p=weights / weights.sum()))
+        ]
+        chosen.delivered_installs += 1
+        wants_review = chosen.reviews_remaining > 0
+        if wants_review:
+            chosen.delivered_reviews += 1
+        return PromoJob(
+            campaign_id=chosen.campaign_id,
+            app_package=chosen.app_package,
+            wants_review=wants_review,
+            min_rating=chosen.min_rating,
+            retention_days=chosen.retention_days,
+        )
+
+    def total_payout_usd(self) -> float:
+        return sum(c.payout_usd for c in self._campaigns.values())

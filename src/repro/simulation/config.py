@@ -1,0 +1,115 @@
+"""Simulation configuration: cohort sizes, durations and scale factors.
+
+The default configuration is a scaled-down cohort that preserves the
+paper's per-device and per-app statistics while running in seconds.
+``SimulationConfig.paper_scale()`` restores the full 803-device cohort
+(580 worker / 223 regular) for long runs.
+
+The scale-sensitive labeling threshold of §7.2 (apps with >= 15,000
+reviews count as popular) is carried here as ``popular_review_threshold``
+because the synthetic catalog's absolute review volumes are scaled too.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+__all__ = ["SimulationConfig", "DEFAULT_SEED"]
+
+DEFAULT_SEED = 20211102  # IMC '21 started November 2, 2021.
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """Knobs for one end-to-end study simulation."""
+
+    seed: int = DEFAULT_SEED
+
+    # Cohort composition.  The paper's classifier cohort is 178 worker +
+    # 88 regular devices with >= 2 days of snapshots; extra devices model
+    # dropouts that report too little data and get filtered out (§7.2).
+    n_worker_devices: int = 178
+    n_regular_devices: int = 88
+    n_dropout_devices: int = 24
+    #: Fraction of worker devices run by *organic* workers who blend
+    #: promotion into personal use (§8.2 finds 123/178 ≈ 69% organic).
+    organic_worker_fraction: float = 123 / 178
+
+    # Study timeline.
+    study_days: int = 10
+    #: Days of device history generated before RacketStore is installed
+    #: (install times, past reviews); affects install-to-review joins.
+    history_days: int = 720
+
+    # Catalog composition.  The popular pool is large with Zipf-weighted
+    # installation so a long tail of popular-but-niche apps exists —
+    # required for the §7.2 "never installed on a worker device" label
+    # to select a non-empty regular app set, as it does against the real
+    # multi-million-app Play catalog.
+    n_popular_apps: int = 2000
+    zipf_exponent: float = 1.2
+    n_promoted_apps: int = 170
+    n_third_party_apps: int = 30
+    n_antivirus_apps: int = 25
+
+    # Snapshot cadences (§3).
+    fast_period_s: float = 5.0
+    slow_period_s: float = 120.0
+
+    # Buffer thresholds (§3): fast file 100 KB, slow file 8 KB.
+    fast_buffer_bytes: int = 100 * 1024
+    slow_buffer_bytes: int = 8 * 1024
+
+    # Runtime-permission grant rates (§3: participants may deny either
+    # permission; the defaults reproduce the paper's partial-reporting
+    # cohort sizes, e.g. only 145 regular + 390 worker devices reported
+    # account data for Fig 5).
+    grant_usage_stats_prob: float = 0.96
+    grant_get_accounts_prob: float = 0.80
+
+    # Labeling rules (§7.2), review threshold scaled with the catalog.
+    min_worker_devices_for_suspicious: int = 5
+    popular_review_threshold: int = 15_000
+
+    # VirusTotal report availability (§6.4: 12431/18079).
+    vt_availability: float = 12_431 / 18_079
+
+    # Evasion study knobs (§9): multipliers applied to worker behaviour.
+    worker_review_delay_multiplier: float = 1.0
+    worker_accounts_multiplier: float = 1.0
+    worker_review_volume_multiplier: float = 1.0
+
+    def scaled(self, **overrides) -> "SimulationConfig":
+        """Copy with overrides (frozen-dataclass convenience)."""
+        return replace(self, **overrides)
+
+    @classmethod
+    def small(cls) -> "SimulationConfig":
+        """Tiny cohort for unit tests (sub-second)."""
+        return cls(
+            n_worker_devices=24,
+            n_regular_devices=14,
+            n_dropout_devices=4,
+            study_days=6,
+            n_popular_apps=500,
+            n_promoted_apps=40,
+            n_third_party_apps=8,
+            n_antivirus_apps=6,
+        )
+
+    @classmethod
+    def paper_scale(cls) -> "SimulationConfig":
+        """Full 803-device cohort (slow; for the headline benchmarks)."""
+        return cls(
+            n_worker_devices=580,
+            n_regular_devices=223,
+            n_dropout_devices=140,
+            n_popular_apps=4000,
+            n_promoted_apps=420,
+            n_third_party_apps=60,
+            n_antivirus_apps=40,
+        )
+
+    @property
+    def total_devices(self) -> int:
+        return self.n_worker_devices + self.n_regular_devices + self.n_dropout_devices

@@ -1,0 +1,196 @@
+"""Simulated Android device state.
+
+Tracks everything the RacketStore collectors observe: the installed-app
+set with per-app install times, stop state and granted/denied
+permissions (the Android API surface §3 reads), registered accounts,
+screen/battery status, plus the interaction event log behind Figure 1.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..playstore.catalog import App
+from .accounts import DeviceAccount
+from .events import DeviceEvent, EventType, ForegroundSession
+
+__all__ = ["InstalledApp", "SimDevice", "DEVICE_MODELS"]
+
+#: (manufacturer, model) pairs; §3: top manufacturers were Samsung,
+#: Huawei, Oppo, Xiaomi, Vivo.
+DEVICE_MODELS: tuple[tuple[str, str], ...] = (
+    ("Samsung", "SM-A105F"), ("Samsung", "SM-G973F"), ("Samsung", "SM-J701F"),
+    ("Huawei", "P30 Lite"), ("Huawei", "Y9 Prime"), ("Oppo", "CPH1909"),
+    ("Oppo", "A5s"), ("Xiaomi", "Redmi Note 7"), ("Xiaomi", "Mi A2"),
+    ("Vivo", "1904"), ("Vivo", "Y91C"), ("Realme", "RMX1911"),
+    ("Motorola", "Moto G7"), ("Nokia", "TA-1032"), ("OnePlus", "A6000"),
+    ("Infinix", "X650"), ("Tecno", "KC8"), ("Lenovo", "K8 Note"),
+)
+
+_device_counter = itertools.count(1)
+
+
+@dataclass(slots=True)
+class InstalledApp:
+    """Per-app install record as exposed by the Android package manager."""
+
+    package: str
+    install_time: float
+    last_update_time: float
+    apk_hash: str
+    stopped: bool = True  # Android >= 3.1: fresh installs start stopped.
+    granted_permissions: tuple[str, ...] = ()
+    denied_permissions: tuple[str, ...] = ()
+    preinstalled: bool = False
+    promo_install: bool = False  # ground truth: installed for promotion
+    retention_until: float = float("inf")
+
+    @property
+    def n_granted(self) -> int:
+        return len(self.granted_permissions)
+
+    @property
+    def n_denied(self) -> int:
+        return len(self.denied_permissions)
+
+
+class SimDevice:
+    """One participant Android device and its full interaction history."""
+
+    def __init__(
+        self,
+        persona_kind: str,
+        is_worker: bool,
+        rng: np.random.Generator,
+        android_id_missing: bool = False,
+    ) -> None:
+        index = next(_device_counter)
+        manufacturer, model = DEVICE_MODELS[int(rng.integers(0, len(DEVICE_MODELS)))]
+        self.device_id = f"dev{index:05d}"
+        #: Android ID; None models the §Appendix-A incompatible devices
+        #: whose snapshots lacked identifiers.
+        self.android_id: str | None = (
+            None if android_id_missing else f"aid{rng.integers(10**15, 10**16 - 1):016x}"
+        )
+        self.manufacturer = manufacturer
+        self.model = model
+        self.api_level = int(rng.integers(21, 30))
+        self.persona_kind = persona_kind
+        self.is_worker = is_worker
+        #: Apparent country (from the §4 cohort distribution); the
+        #: backend only ever sees the IP-derived approximation.
+        self.country: str = "OTHER"
+
+        self.accounts: list[DeviceAccount] = []
+        self.installed: dict[str, InstalledApp] = {}
+        self.uninstalled_log: list[tuple[float, str]] = []
+        self.events: list[DeviceEvent] = []
+        self.sessions: list[ForegroundSession] = []
+        self.battery_level: float = float(rng.uniform(0.3, 1.0))
+        self.save_mode: bool = bool(rng.random() < 0.15)
+
+    # -- accounts -----------------------------------------------------------
+    def register_account(self, account: DeviceAccount) -> None:
+        self.accounts.append(account)
+
+    def gmail_accounts(self) -> list[DeviceAccount]:
+        return [a for a in self.accounts if a.is_gmail]
+
+    def non_gmail_accounts(self) -> list[DeviceAccount]:
+        return [a for a in self.accounts if not a.is_gmail]
+
+    def account_types(self) -> set[str]:
+        return {a.service for a in self.accounts}
+
+    # -- install lifecycle ----------------------------------------------------
+    def install(
+        self,
+        app: App,
+        timestamp: float,
+        grant_probability: float,
+        rng: np.random.Generator,
+        promo: bool = False,
+        retention_days: float = float("inf"),
+        preinstalled: bool = False,
+    ) -> InstalledApp:
+        """Install an app: permissions are granted per-permission with
+        ``grant_probability`` (dangerous only; normal always granted)."""
+        granted = list(app.permissions.normal)
+        denied: list[str] = []
+        for permission in app.permissions.dangerous:
+            if rng.random() < grant_probability:
+                granted.append(permission)
+            else:
+                denied.append(permission)
+        record = InstalledApp(
+            package=app.package,
+            install_time=timestamp,
+            last_update_time=timestamp,
+            apk_hash=app.current_apk_hash,
+            stopped=not preinstalled,
+            granted_permissions=tuple(granted),
+            denied_permissions=tuple(denied),
+            preinstalled=preinstalled,
+            promo_install=promo,
+            retention_until=timestamp + retention_days * 86_400.0
+            if retention_days != float("inf")
+            else float("inf"),
+        )
+        self.installed[app.package] = record
+        if not preinstalled:
+            self.events.append(DeviceEvent(timestamp, EventType.INSTALL, app.package))
+        return record
+
+    def uninstall(self, package: str, timestamp: float) -> bool:
+        record = self.installed.pop(package, None)
+        if record is None:
+            return False
+        self.uninstalled_log.append((timestamp, package))
+        self.events.append(DeviceEvent(timestamp, EventType.UNINSTALL, package))
+        return True
+
+    def open_app(self, package: str, timestamp: float, duration_s: float) -> ForegroundSession | None:
+        """Bring an app to the foreground (clears its stopped state)."""
+        record = self.installed.get(package)
+        if record is None:
+            return None
+        record.stopped = False
+        session = ForegroundSession(timestamp, timestamp + duration_s, package)
+        self.sessions.append(session)
+        self.events.append(DeviceEvent(timestamp, EventType.FOREGROUND, package))
+        return session
+
+    def stop_app(self, package: str, timestamp: float) -> bool:
+        """Force-stop an app (§6.3: workers stop misbehaving promo apps)."""
+        record = self.installed.get(package)
+        if record is None:
+            return False
+        record.stopped = True
+        self.events.append(DeviceEvent(timestamp, EventType.STOP, package))
+        return True
+
+    def record_review_event(self, package: str, timestamp: float) -> None:
+        self.events.append(DeviceEvent(timestamp, EventType.REVIEW, package))
+
+    # -- views ------------------------------------------------------------------
+    def installed_packages(self) -> set[str]:
+        return set(self.installed)
+
+    def stopped_packages(self) -> list[str]:
+        return sorted(p for p, rec in self.installed.items() if rec.stopped)
+
+    def user_installed(self) -> list[InstalledApp]:
+        return [rec for rec in self.installed.values() if not rec.preinstalled]
+
+    def promo_installed(self) -> list[InstalledApp]:
+        return [rec for rec in self.installed.values() if rec.promo_install]
+
+    def apk_hashes(self) -> set[str]:
+        return {rec.apk_hash for rec in self.installed.values() if rec.apk_hash}
+
+    def timeline(self, package: str) -> list[DeviceEvent]:
+        """Figure-1-style per-app event timeline."""
+        return sorted(e for e in self.events if e.package == package)

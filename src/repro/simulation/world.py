@@ -1,0 +1,310 @@
+"""World driver: build the ecosystem, enroll the cohort, run the study.
+
+This is the top-level substitute for the paper's deployment: it creates
+the Play Store catalog, the ASO campaign board, the Gmail directory and
+VirusTotal panel, enrolls worker and regular participant devices, runs
+the study day by day — each device generating behaviour and its
+RacketStore install reporting snapshots to the backend — and returns a
+:class:`StudyData` handle exposing everything the §6-§8 analyses need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..platform.mobile_app import RacketStoreApp
+from ..platform.server import RacketStoreServer
+from ..platform.store import DocumentStore
+from ..platform.transport import LossyTransport
+from ..playstore.catalog import App, Catalog
+from ..playstore.google_id import GmailDirectory, GoogleIdCrawler
+from ..playstore.rank import SearchRankModel
+from ..playstore.reviews import ReviewCrawler, ReviewStore
+from ..virustotal.client import VirusTotalClient
+from ..virustotal.engines import EnginePanel
+from .accounts import AccountFactory
+from .behavior import BehaviorEngine
+from .campaigns import CampaignBoard
+from .clock import SECONDS_PER_DAY
+from .config import SimulationConfig
+from .device import SimDevice
+from .personas import Persona, dedicated_worker, organic_worker, regular_user
+from .recruitment import sample_country
+
+__all__ = ["Participant", "StudyData", "build_world", "run_study"]
+
+
+@dataclass
+class Participant:
+    """One enrolled device: its simulated owner and RacketStore install."""
+
+    device: SimDevice
+    persona: Persona
+    app: RacketStoreApp
+    participant_id: str
+    enrolled_day: int
+    active_days: int
+
+    @property
+    def is_worker(self) -> bool:
+        return self.persona.is_worker
+
+    @property
+    def is_dropout(self) -> bool:
+        return self.active_days < 2
+
+    def active_on(self, day: int) -> bool:
+        return self.enrolled_day <= day < self.enrolled_day + self.active_days
+
+
+@dataclass
+class StudyData:
+    """Everything the analyses consume after a study run."""
+
+    config: SimulationConfig
+    catalog: Catalog
+    review_store: ReviewStore
+    review_crawler: ReviewCrawler
+    gmail_directory: GmailDirectory
+    id_crawler: GoogleIdCrawler
+    vt_client: VirusTotalClient
+    board: CampaignBoard
+    server: RacketStoreServer
+    rank_model: SearchRankModel
+    participants: list[Participant] = field(default_factory=list)
+
+    # -- cohort views ----------------------------------------------------
+    def worker_participants(self, min_days: int = 0) -> list[Participant]:
+        return [
+            p
+            for p in self.participants
+            if p.is_worker and p.active_days >= min_days
+        ]
+
+    def regular_participants(self, min_days: int = 0) -> list[Participant]:
+        return [
+            p
+            for p in self.participants
+            if not p.is_worker and p.active_days >= min_days
+        ]
+
+    def eligible_participants(self, min_days: int = 2) -> list[Participant]:
+        """Devices with >= ``min_days`` of snapshots (§7.2/§8.2 filter)."""
+        return [p for p in self.participants if p.active_days >= min_days]
+
+    def apk_hash_oracle(self) -> dict[str, bool]:
+        """apk hash -> is-malware ground truth for the VT panel."""
+        return {
+            h: app.is_malware
+            for app in self.catalog.all_apps()
+            for h in app.apk_hashes
+        }
+
+
+def _malware_oracle_factory(catalog: Catalog):
+    lookup = {
+        h: app.is_malware for app in catalog.all_apps() for h in app.apk_hashes
+    }
+
+    def oracle(apk_hash: str) -> bool:
+        return lookup.get(apk_hash, False)
+
+    return oracle
+
+
+def build_world(config: SimulationConfig | None = None) -> tuple[StudyData, BehaviorEngine, AccountFactory, np.random.Generator]:
+    """Construct (but do not run) the full ecosystem."""
+    config = config or SimulationConfig()
+    rng = np.random.default_rng(config.seed)
+
+    catalog = Catalog(rng)
+    for _ in range(config.n_popular_apps):
+        catalog.add_popular_app()
+    promoted = [catalog.add_promoted_app() for _ in range(config.n_promoted_apps)]
+    for _ in range(config.n_third_party_apps):
+        catalog.add_third_party_app()
+    for _ in range(config.n_antivirus_apps):
+        catalog.add_antivirus_app()
+
+    board = CampaignBoard(rng)
+    for app in promoted:
+        board.post_campaign(app)
+
+    review_store = ReviewStore()
+    review_crawler = ReviewCrawler(review_store, first_crawl_cap=100_000)
+    directory = GmailDirectory()
+    id_crawler = GoogleIdCrawler(directory)
+    panel = EnginePanel(np.random.default_rng(config.seed + 1))
+    vt_client = VirusTotalClient(
+        panel, _malware_oracle_factory(catalog), availability=config.vt_availability
+    )
+
+    server = RacketStoreServer(DocumentStore(), review_crawler=review_crawler)
+    engine = BehaviorEngine(config, catalog, review_store, board, rng)
+    factory = AccountFactory(directory, rng)
+
+    data = StudyData(
+        config=config,
+        catalog=catalog,
+        review_store=review_store,
+        review_crawler=review_crawler,
+        gmail_directory=directory,
+        id_crawler=id_crawler,
+        vt_client=vt_client,
+        board=board,
+        server=server,
+        rank_model=SearchRankModel(catalog),
+    )
+    return data, engine, factory, rng
+
+
+def _enroll(
+    data: StudyData,
+    engine: BehaviorEngine,
+    factory: AccountFactory,
+    rng: np.random.Generator,
+    persona: Persona,
+    active_days: int,
+    enrolled_day: int = 0,
+    device: SimDevice | None = None,
+) -> Participant:
+    """Enroll a participant; pass ``device`` to model a *repeat install*
+    on an already-set-up device (Appendix A: workers reinstalling under
+    a new participant identity to collect the install payment again)."""
+    config = data.config
+    if device is None:
+        device = SimDevice(
+            persona_kind=persona.kind,
+            is_worker=persona.is_worker,
+            rng=rng,
+            android_id_missing=bool(rng.random() < 0.05),
+        )
+        device.country = sample_country(rng, persona.is_worker)
+        engine.setup_device(device, persona, factory)
+
+    participant_id = data.server.issue_participant_id()
+    transport = LossyTransport(
+        data.server, loss_probability=0.02, rng=np.random.default_rng(rng.integers(2**31))
+    )
+    app = RacketStoreApp(
+        device=device,
+        participant_id=participant_id,
+        server=data.server,
+        transport=transport,
+        rng=np.random.default_rng(rng.integers(2**31)),
+        # Permission grant rates reproduce the partial-reporting cohort
+        # sizes of Figs 5/6 (not every device reports accounts/usage).
+        grant_usage_stats=bool(rng.random() < config.grant_usage_stats_prob),
+        grant_get_accounts=bool(rng.random() < config.grant_get_accounts_prob),
+        fast_buffer_bytes=config.fast_buffer_bytes,
+        slow_buffer_bytes=config.slow_buffer_bytes,
+    )
+    # Sign-in (and the initial snapshot) happens on the enrollment day
+    # inside the study loop, so repeat installs capture the device state
+    # *at that time* — required for Appendix-A app-set fingerprints and
+    # for install/uninstall deltas to be consistent.
+    participant = Participant(
+        device=device,
+        persona=persona,
+        app=app,
+        participant_id=participant_id,
+        enrolled_day=enrolled_day,
+        active_days=active_days,
+    )
+    data.participants.append(participant)
+    return participant
+
+
+def run_study(config: SimulationConfig | None = None) -> StudyData:
+    """Build the world, enroll the cohort, simulate every study day.
+
+    Returns the populated :class:`StudyData`.
+    """
+    config = config or SimulationConfig()
+    data, engine, factory, rng = build_world(config)
+
+    # -- enrollment ------------------------------------------------------
+    n_organic = int(round(config.n_worker_devices * config.organic_worker_fraction))
+    # Organic workers span a wide intensity range — from novices hiding a
+    # trickle of ASO work to heavy moonlighters (§8.2's Fig 15 continuum).
+    worker_personas = [
+        organic_worker(intensity=float(np.clip(rng.lognormal(0.0, 0.65), 0.08, 3.0)))
+        for _ in range(n_organic)
+    ] + [dedicated_worker()] * (config.n_worker_devices - n_organic)
+    for persona in worker_personas:
+        _enroll(
+            data, engine, factory, rng, persona,
+            active_days=int(rng.integers(2, config.study_days + 1)) if rng.random() < 0.35 else config.study_days,
+        )
+    for _ in range(config.n_regular_devices):
+        _enroll(
+            data, engine, factory, rng, regular_user(),
+            active_days=int(rng.integers(2, config.study_days + 1)) if rng.random() < 0.35 else config.study_days,
+        )
+    # Dropouts: devices that keep RacketStore for under two days and get
+    # filtered out of the classifier cohorts (§7.2).
+    for i in range(config.n_dropout_devices):
+        persona = organic_worker() if i % 2 == 0 else regular_user()
+        _enroll(data, engine, factory, rng, persona, active_days=1)
+
+    # Repeat installs (Appendix A): some workers uninstall and reinstall
+    # under a fresh participant identity to collect the $1 install
+    # payment twice.  The snapshot-fingerprinting procedure must coalesce
+    # these install pairs back into single devices.
+    n_repeat = max(2, config.n_worker_devices // 25)
+    repeaters = [
+        p
+        for p in data.participants
+        if p.is_worker and not p.is_dropout
+        and p.enrolled_day + p.active_days + 2 <= config.study_days
+    ]
+    if len(repeaters) < n_repeat:
+        # Not enough naturally short stays: truncate a few full-stay
+        # workers so their device frees up for the repeat install.
+        for participant in data.participants:
+            if len(repeaters) >= n_repeat:
+                break
+            if (
+                participant.is_worker
+                and participant not in repeaters
+                and participant.active_days >= 4
+                and participant.enrolled_day == 0
+            ):
+                participant.active_days = max(2, config.study_days - 3)
+                if participant.enrolled_day + participant.active_days + 2 <= config.study_days:
+                    repeaters.append(participant)
+    rng.shuffle(repeaters)
+    for original in repeaters[:n_repeat]:
+        # Short repeat installs: they earn the bounty, get coalesced by
+        # Appendix A, and (being < 2 days) stay out of the classifier
+        # cohorts, like the paper's filtered repeat installs.
+        _enroll(
+            data,
+            engine,
+            factory,
+            rng,
+            original.persona,
+            active_days=1,
+            enrolled_day=original.enrolled_day + original.active_days + 1,
+            device=original.device,
+        )
+
+    # -- study days ------------------------------------------------------
+    for day in range(config.study_days):
+        day_start = day * SECONDS_PER_DAY
+        for participant in data.participants:
+            if not participant.active_on(day):
+                continue
+            if participant.app.install_id is None:
+                participant.app.sign_in(timestamp=day_start)
+            engine.simulate_day(participant.device, participant.persona, day_start)
+            participant.app.collect_day(day_start)
+            if day == participant.enrolled_day + participant.active_days - 1:
+                participant.app.uninstall(day_start + SECONDS_PER_DAY)
+        # §5: the review crawler runs every 12 hours.
+        data.review_crawler.crawl_round()
+        data.review_crawler.crawl_round()
+
+    return data

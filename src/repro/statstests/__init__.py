@@ -1,0 +1,37 @@
+"""Statistical-testing substrate: the §6 test battery and descriptive
+summaries in the paper's reporting format."""
+
+from .descriptive import Summary, ecdf, histogram_counts, summarize
+from .effect_size import EffectSizes, bootstrap_ci, cliffs_delta, cohens_d, effect_sizes
+from .tests import (
+    SignificanceBattery,
+    TestResult,
+    compare_groups,
+    fligner_killeen,
+    kruskal_wallis,
+    ks_2samp,
+    mann_whitney_u,
+    one_way_anova,
+    shapiro_wilk,
+)
+
+__all__ = [
+    "Summary",
+    "EffectSizes",
+    "bootstrap_ci",
+    "cliffs_delta",
+    "cohens_d",
+    "effect_sizes",
+    "ecdf",
+    "histogram_counts",
+    "summarize",
+    "SignificanceBattery",
+    "TestResult",
+    "compare_groups",
+    "fligner_killeen",
+    "kruskal_wallis",
+    "ks_2samp",
+    "mann_whitney_u",
+    "one_way_anova",
+    "shapiro_wilk",
+]

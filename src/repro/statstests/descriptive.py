@@ -1,0 +1,84 @@
+"""Descriptive statistics in the shape the paper reports them.
+
+Nearly every §6 measurement is summarised as "mean = x (M = median,
+SD = s, max = m)"; :class:`Summary` captures that quadruple plus a few
+extras so analyses and benchmarks can print paper-style rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Summary", "summarize", "ecdf", "histogram_counts"]
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number-style summary matching the paper's reporting format."""
+
+    n: int
+    mean: float
+    median: float
+    std: float
+    minimum: float
+    maximum: float
+    q1: float
+    q3: float
+    total: float
+
+    def paper_style(self) -> str:
+        """Render like the paper: 'mean (M = median, SD = std, max = max)'."""
+        return (
+            f"{self.mean:.2f} (M = {self.median:.2f}, "
+            f"SD = {self.std:.2f}, max = {self.maximum:.2f})"
+        )
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "n": self.n,
+            "mean": self.mean,
+            "median": self.median,
+            "std": self.std,
+            "min": self.minimum,
+            "max": self.maximum,
+            "q1": self.q1,
+            "q3": self.q3,
+            "total": self.total,
+        }
+
+
+def summarize(values) -> Summary:
+    """Compute a :class:`Summary`, dropping non-finite entries."""
+    arr = np.asarray(list(values), dtype=np.float64).ravel()
+    arr = arr[np.isfinite(arr)]
+    if arr.size == 0:
+        return Summary(0, float("nan"), float("nan"), float("nan"),
+                       float("nan"), float("nan"), float("nan"), float("nan"), 0.0)
+    return Summary(
+        n=int(arr.size),
+        mean=float(arr.mean()),
+        median=float(np.median(arr)),
+        std=float(arr.std(ddof=1)) if arr.size > 1 else 0.0,
+        minimum=float(arr.min()),
+        maximum=float(arr.max()),
+        q1=float(np.percentile(arr, 25)),
+        q3=float(np.percentile(arr, 75)),
+        total=float(arr.sum()),
+    )
+
+
+def ecdf(values) -> tuple[np.ndarray, np.ndarray]:
+    """Empirical CDF as (sorted values, cumulative probabilities)."""
+    arr = np.sort(np.asarray(list(values), dtype=np.float64).ravel())
+    if arr.size == 0:
+        return arr, arr
+    return arr, np.arange(1, arr.size + 1) / arr.size
+
+
+def histogram_counts(values, bin_edges) -> np.ndarray:
+    """Histogram counts over explicit bin edges (right-inclusive last bin)."""
+    arr = np.asarray(list(values), dtype=np.float64).ravel()
+    counts, _ = np.histogram(arr, bins=np.asarray(bin_edges, dtype=np.float64))
+    return counts

@@ -1,0 +1,14 @@
+"""Simulated VirusTotal substrate: a 62-engine scanning panel and a
+report client with the paper's hash-availability characteristics."""
+
+from .client import ClientStats, VirusTotalClient
+from .engines import N_ENGINES, Engine, EnginePanel, ScanResult
+
+__all__ = [
+    "ClientStats",
+    "VirusTotalClient",
+    "N_ENGINES",
+    "Engine",
+    "EnginePanel",
+    "ScanResult",
+]

@@ -1,0 +1,207 @@
+"""Tests for the §6 measurement analyses on the shared small study."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    app_timeline,
+    compare_feature,
+    compute_accounts,
+    compute_app_permissions,
+    compute_churn,
+    compute_daily_use,
+    compute_engagement,
+    compute_install_to_review,
+    compute_installed_apps,
+    compute_malware,
+    compute_stopped_apps,
+)
+from repro.simulation.events import EventType
+
+
+class TestCompareFeature:
+    def test_structure(self, rng):
+        comparison = compare_feature("x", rng.normal(5, 1, 100), rng.normal(0, 1, 100))
+        assert comparison.worker.mean > comparison.regular.mean
+        assert comparison.significant()
+        assert len(comparison.paper_style_rows()) == 4
+        assert comparison.effects.magnitude() == "large"
+        assert comparison.effects.cohens_d > 3
+
+
+class TestEngagement:
+    def test_points_per_device(self, observations):
+        result = compute_engagement(observations)
+        assert len(result.points) == len(observations)
+
+    def test_most_devices_over_100_snapshots(self, observations):
+        result = compute_engagement(observations)
+        assert result.devices_over_100_per_day / len(result.points) >= 0.9
+
+    def test_timeline_event_types_valid(self, observations):
+        workers = [o for o in observations if o.is_worker]
+        obs = workers[0]
+        package = next(iter(obs.device_reviews), None)
+        if package is None:
+            pytest.skip("worker without reviews")
+        timeline = app_timeline(obs, package)
+        assert timeline == sorted(timeline)
+        assert {t for _, t in timeline} <= {int(e) for e in EventType}
+
+    def test_worker_timeline_reviews_without_use(self, observations):
+        """Figure 1's signature: some worker app has reviews and no
+        foreground events."""
+        found = False
+        for obs in observations:
+            if not obs.is_worker:
+                continue
+            for package in obs.device_reviews:
+                timeline = app_timeline(obs, package)
+                types = {t for _, t in timeline}
+                if int(EventType.REVIEW) in types and int(EventType.FOREGROUND) not in types:
+                    found = True
+                    break
+            if found:
+                break
+        assert found
+
+
+class TestAccounts:
+    def test_worker_gmail_dominates(self, observations):
+        result = compute_accounts(observations)
+        assert result.gmail.worker.median > result.gmail.regular.median * 3
+        assert result.gmail.significant()
+
+    def test_regular_more_account_types(self, observations):
+        result = compute_accounts(observations)
+        assert result.account_types.regular.mean > result.account_types.worker.mean
+
+    def test_only_reporting_devices_counted(self, observations):
+        result = compute_accounts(observations)
+        reporting = [o for o in observations if o.reported_account_data and o.reported_accounts]
+        assert (
+            result.reporting_worker_devices + result.reporting_regular_devices
+            == len(reporting)
+        )
+
+
+class TestInstalledApps:
+    def test_worker_review_dominance(self, observations):
+        result = compute_installed_apps(observations)
+        # >5x at the tiny test scale (a single chatty regular reviewer
+        # skews a 14-device mean); the fig06 bench asserts >15x at the
+        # default cohort scale.
+        assert result.installed_and_reviewed.worker.mean > 5 * max(
+            result.installed_and_reviewed.regular.mean, 0.1
+        )
+        assert result.total_reviews.significant()
+
+    def test_installed_counts_similar(self, observations):
+        result = compute_installed_apps(observations)
+        ratio = result.installed.worker.mean / result.installed.regular.mean
+        # Same ballpark, as in the paper.  The hoarder tail makes group
+        # means noisy at this tiny cohort size, so the band is wide here;
+        # the fig06 bench asserts 0.8-1.6 on the default cohort.
+        assert 0.4 <= ratio <= 2.5
+
+
+class TestInstallToReview:
+    def test_workers_faster_and_more(self, observations):
+        result = compute_install_to_review(observations)
+        assert result.worker_review_count > 50 * max(result.regular_review_count, 1) / 10
+        assert result.comparison.worker.median < result.comparison.regular.median
+        assert 0.15 <= result.worker_fast_fraction <= 0.6  # paper: 33%
+
+    def test_delays_positive(self, observations):
+        result = compute_install_to_review(observations)
+        assert all(d > 0 for d in result.worker_delays_days)
+        assert all(d > 0 for d in result.regular_delays_days)
+
+
+class TestStoppedApps:
+    def test_workers_stop_more(self, observations):
+        result = compute_stopped_apps(observations)
+        assert result.comparison.worker.median > result.comparison.regular.median
+        assert result.comparison.significant()
+
+
+class TestChurn:
+    def test_worker_churn_higher(self, observations):
+        result = compute_churn(observations)
+        assert result.installs.worker.mean > result.installs.regular.mean
+        assert result.installs.significant()
+
+    def test_high_churn_mostly_workers(self, observations):
+        result = compute_churn(observations)
+        high = result.high_churn_devices(threshold=10.0)
+        assert high["worker"] >= high["regular"]
+
+
+class TestDailyUse:
+    def test_substantial_overlap(self, observations):
+        result = compute_daily_use(observations)
+        assert result.overlap_fraction() >= 0.1  # the paper's point
+
+
+class TestPermissions:
+    def test_point_groups(self, study, observations):
+        result = compute_app_permissions(observations, study.catalog)
+        groups = {p.exclusive_to for p in result.points}
+        assert groups == {"worker", "regular"}
+
+    def test_worker_exclusive_tail_heavier(self, study, observations):
+        result = compute_app_permissions(observations, study.catalog)
+        assert result.max_dangerous()["worker"] >= result.max_dangerous()["regular"]
+
+
+class TestMalware:
+    def test_counts_consistent(self, study, observations):
+        result = compute_malware(observations, study.vt_client, study.catalog)
+        assert result.hashes_with_report <= result.hashes_scanned
+        assert (
+            result.worker_devices_with_flagged + result.regular_devices_with_flagged
+            == result.devices_with_flagged_app
+        )
+
+    def test_malware_spreads_wider_on_worker_devices(self, study, observations):
+        result = compute_malware(observations, study.vt_client, study.catalog)
+        spread = result.mean_spread()
+        assert spread["worker"] >= spread["regular"]
+
+    def test_high_confidence_subset(self, study, observations):
+        result = compute_malware(observations, study.vt_client, study.catalog)
+        for sample in result.high_confidence_samples():
+            assert sample.vt_flags > 7
+
+
+class TestRetention:
+    def test_curves_monotone_nonincreasing(self, observations):
+        from repro.analysis.retention import compute_retention
+
+        result = compute_retention(observations, horizon_days=5)
+        for curve in (result.worker_curve, result.regular_curve):
+            fractions = curve.surviving_fraction
+            assert all(a >= b - 1e-12 for a, b in zip(fractions, fractions[1:]))
+            assert fractions[0] == pytest.approx(1.0)
+
+    def test_fractions_bounded(self, observations):
+        from repro.analysis.retention import compute_retention
+
+        result = compute_retention(observations, horizon_days=5)
+        for curve in (result.worker_curve, result.regular_curve):
+            assert all(0.0 <= f <= 1.0 for f in curve.surviving_fraction)
+            assert curve.n_installs > 0
+
+    def test_comparison_populated(self, observations):
+        from repro.analysis.retention import compute_retention
+
+        result = compute_retention(observations, horizon_days=5)
+        assert result.lifetime_comparison.worker.n > 10
+        assert result.lifetime_comparison.regular.n > 10
+
+    def test_at_unknown_day_raises(self, observations):
+        from repro.analysis.retention import compute_retention
+
+        result = compute_retention(observations, horizon_days=3)
+        with pytest.raises(KeyError):
+            result.worker_curve.at(99)

@@ -1,0 +1,50 @@
+"""Shared fixtures: one small simulated study (and pipeline run) per
+test session, reused by the simulation/core/analysis/integration tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import DetectionPipeline
+from repro.core.observations import build_observations
+from repro.simulation import SimulationConfig, run_study
+
+
+@pytest.fixture(scope="session")
+def small_config() -> SimulationConfig:
+    return SimulationConfig.small()
+
+
+@pytest.fixture(scope="session")
+def study(small_config):
+    """One small end-to-end study, shared across the whole session."""
+    return run_study(small_config)
+
+
+@pytest.fixture(scope="session")
+def observations(study):
+    return build_observations(study, study.eligible_participants(min_days=2))
+
+
+@pytest.fixture(scope="session")
+def pipeline_result(study):
+    """One small pipeline run (5-fold CV), shared across the session."""
+    return DetectionPipeline(n_splits=5).run(study)
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture()
+def blobs(rng):
+    """Two well-separated Gaussian blobs for classifier sanity tests."""
+    n = 150
+    X = np.vstack(
+        [rng.normal(0.0, 1.0, (n, 4)), rng.normal(2.5, 1.0, (n, 4))]
+    )
+    y = np.concatenate([np.zeros(n, dtype=int), np.ones(n, dtype=int)])
+    order = rng.permutation(2 * n)
+    return X[order], y[order]

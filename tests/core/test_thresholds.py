@@ -1,0 +1,109 @@
+"""Tests for operating-point / threshold selection."""
+
+import numpy as np
+import pytest
+
+from repro.core.thresholds import (
+    precision_recall_curve,
+    sweep_operating_points,
+    threshold_for_fpr,
+    threshold_for_precision,
+)
+
+
+@pytest.fixture()
+def scored(rng):
+    n = 500
+    y = rng.integers(0, 2, n)
+    scores = y * 2.0 + rng.normal(0, 1.0, n)
+    return y, scores
+
+
+class TestPrecisionRecallCurve:
+    def test_recall_monotone_nondecreasing(self, scored):
+        y, scores = scored
+        _, recall, _ = precision_recall_curve(y, scores)
+        assert np.all(np.diff(recall) >= 0)
+
+    def test_final_recall_is_one(self, scored):
+        y, scores = scored
+        _, recall, _ = precision_recall_curve(y, scores)
+        assert recall[-1] == pytest.approx(1.0)
+
+    def test_perfect_separation(self):
+        y = np.array([0, 0, 1, 1])
+        scores = np.array([0.1, 0.2, 0.8, 0.9])
+        precision, recall, _ = precision_recall_curve(y, scores)
+        assert precision[0] == 1.0 and precision[1] == 1.0
+
+
+class TestThresholdForFPR:
+    def test_constraint_respected(self, scored):
+        y, scores = scored
+        point = threshold_for_fpr(y, scores, max_fpr=0.05)
+        assert point.false_positive_rate <= 0.05
+
+    def test_recall_maximised_under_budget(self, scored):
+        y, scores = scored
+        tight = threshold_for_fpr(y, scores, max_fpr=0.01)
+        loose = threshold_for_fpr(y, scores, max_fpr=0.2)
+        assert loose.recall >= tight.recall
+        assert loose.threshold <= tight.threshold
+
+    def test_zero_budget_flags_cleanly(self, scored):
+        y, scores = scored
+        point = threshold_for_fpr(y, scores, max_fpr=0.0)
+        assert point.false_positive_rate == 0.0
+
+
+class TestThresholdForPrecision:
+    def test_constraint_respected(self, scored):
+        y, scores = scored
+        point = threshold_for_precision(y, scores, min_precision=0.95)
+        assert point.precision >= 0.95
+
+    def test_paper_style_high_precision_point(self, rng):
+        """§8.2 prioritises precision: on a well-separated scorer the
+        0.97-precision operating point retains useful recall."""
+        n = 500
+        y = rng.integers(0, 2, n)
+        scores = y * 4.0 + rng.normal(0, 1.0, n)  # strong separation
+        point = threshold_for_precision(y, scores, min_precision=0.97)
+        assert point.precision >= 0.97
+        assert point.recall > 0.5
+
+    def test_max_recall_point_selected(self, scored):
+        """Among all feasible points the selector returns the one with
+        the highest recall (not merely the first feasible one)."""
+        from repro.core.thresholds import _all_points
+
+        y, scores = scored
+        point = threshold_for_precision(y, scores, min_precision=0.95)
+        feasible = [
+            p
+            for p in _all_points(np.asarray(y), np.asarray(scores, dtype=float))
+            if p.precision >= 0.95
+        ]
+        assert point.recall == max(p.recall for p in feasible)
+
+    def test_infeasible_precision_flags_nothing(self, rng):
+        y = rng.integers(0, 2, 100)
+        scores = rng.normal(0, 1, 100)  # uninformative scores
+        point = threshold_for_precision(y, scores, min_precision=1.01)
+        assert point.flagged_fraction == 0.0
+
+
+class TestSweep:
+    def test_sweep_shape_and_order(self, scored):
+        y, scores = scored
+        points = sweep_operating_points(y, scores, n_points=7)
+        assert len(points) == 7
+        thresholds = [p.threshold for p in points]
+        assert thresholds == sorted(thresholds)
+        # Raising the threshold never raises FPR.
+        fprs = [p.false_positive_rate for p in points]
+        assert all(a >= b - 1e-12 for a, b in zip(fprs, fprs[1:]))
+
+    def test_empty_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            sweep_operating_points([], [])

@@ -1,0 +1,74 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_scale_choices(self):
+        parser = build_parser()
+        args = parser.parse_args(["--scale", "small", "simulate"])
+        assert args.scale == "small"
+        with pytest.raises(SystemExit):
+            parser.parse_args(["--scale", "huge", "simulate"])
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCommands:
+    def test_simulate(self, capsys):
+        assert main(["--scale", "small", "simulate"]) == 0
+        out = capsys.readouterr().out
+        assert "eligible devices" in out
+        assert "reviews crawled" in out
+
+    def test_experiment_list(self, capsys):
+        assert main(["experiment", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "table1" in out and "fig15" in out
+
+    def test_experiment_table3(self, capsys):
+        assert main(["--scale", "small", "experiment", "table3"]) == 0
+        out = capsys.readouterr().out
+        assert "Snap. fingerprint" in out
+
+    def test_unknown_experiment_fails(self, capsys):
+        assert main(["--scale", "small", "experiment", "fig99"]) == 2
+
+    def test_dashboard(self, capsys):
+        assert main(["--scale", "small", "dashboard"]) == 0
+        out = capsys.readouterr().out
+        assert "validation issues: 0" in out
+
+    def test_train_then_classify(self, tmp_path, capsys):
+        models = tmp_path / "detectors.json"
+        assert main(["--scale", "small", "train", "--out", str(models)]) == 0
+        payload = json.loads(models.read_text())
+        assert set(payload) == {"app", "device"}
+
+        assert main(
+            ["--scale", "small", "--seed", "4242", "classify", "--models", str(models)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "accuracy vs ground truth" in out
+
+    def test_findings_command(self, capsys):
+        code = main(["--scale", "small", "findings"])
+        out = capsys.readouterr().out
+        assert "paper findings hold" in out
+        assert "F1" in out and "F18" in out
+        assert code in (0, 1)  # small cohorts may miss a power-limited claim
+
+    def test_export_figures(self, tmp_path, capsys):
+        out = tmp_path / "figures"
+        assert main(["--scale", "small", "export-figures", "--out", str(out)]) == 0
+        files = sorted(p.name for p in out.iterdir())
+        assert "fig07_install_to_review.csv" in files
+        assert "fig15_suspiciousness.csv" in files
+        header = (out / "fig09_churn.csv").read_text().splitlines()[0]
+        assert header == "install_id,group,daily_installs,daily_uninstalls"

@@ -1,0 +1,100 @@
+"""Tests for Platt and isotonic probability calibration."""
+
+import numpy as np
+import pytest
+
+from repro.ml.calibration import CalibratedClassifier, IsotonicCalibrator, PlattCalibrator
+from repro.ml.logistic import LogisticRegression
+from repro.ml.svm import LinearSVC
+
+
+@pytest.fixture()
+def scored(rng):
+    """Scores correlated with labels but miscalibrated (overconfident)."""
+    n = 600
+    y = rng.integers(0, 2, n)
+    scores = 4.0 * (y - 0.5) + rng.normal(0, 1.5, n)
+    return scores, y
+
+
+class TestPlatt:
+    def test_probabilities_in_unit_interval(self, scored):
+        scores, y = scored
+        calibrator = PlattCalibrator().fit(scores, y)
+        p = calibrator.predict_proba(scores)
+        assert (p >= 0).all() and (p <= 1).all()
+
+    def test_monotone_in_score(self, scored):
+        scores, y = scored
+        calibrator = PlattCalibrator().fit(scores, y)
+        ordered = calibrator.predict_proba(np.linspace(-5, 5, 50))
+        assert np.all(np.diff(ordered) >= 0)
+
+    def test_calibration_improves_binned_accuracy(self, scored):
+        scores, y = scored
+        calibrator = PlattCalibrator().fit(scores, y)
+        p = calibrator.predict_proba(scores)
+        # Expected calibration error over 5 bins should be small.
+        bins = np.quantile(p, np.linspace(0, 1, 6))
+        errors = []
+        for lo, hi in zip(bins, bins[1:]):
+            mask = (p >= lo) & (p <= hi)
+            if mask.sum() > 10:
+                errors.append(abs(p[mask].mean() - y[mask].mean()))
+        assert max(errors) < 0.1
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            PlattCalibrator().fit([1.0, 2.0], [1])
+
+
+class TestIsotonic:
+    def test_fit_is_monotone(self, scored):
+        scores, y = scored
+        calibrator = IsotonicCalibrator().fit(scores, y)
+        grid = calibrator.predict_proba(np.linspace(scores.min(), scores.max(), 200))
+        assert np.all(np.diff(grid) >= -1e-12)
+
+    def test_pava_on_known_sequence(self):
+        # Classic PAVA example: decreasing pair gets pooled.
+        scores = np.array([1.0, 2.0, 3.0, 4.0])
+        y = np.array([0.0, 1.0, 0.0, 1.0])
+        calibrator = IsotonicCalibrator().fit(scores, y)
+        p = calibrator.predict_proba(scores)
+        assert np.all(np.diff(p) >= -1e-12)
+        # The violating middle pair pools to 0.5.
+        assert p[1] == pytest.approx(0.5)
+        assert p[2] == pytest.approx(0.5)
+
+    def test_probabilities_clamped(self, scored):
+        scores, y = scored
+        calibrator = IsotonicCalibrator().fit(scores, y)
+        extreme = calibrator.predict_proba(np.array([-100.0, 100.0]))
+        assert 0.0 <= extreme[0] <= extreme[1] <= 1.0
+
+    def test_perfectly_separable(self):
+        scores = np.array([-2.0, -1.0, 1.0, 2.0])
+        y = np.array([0, 0, 1, 1])
+        p = IsotonicCalibrator().fit(scores, y).predict_proba(scores)
+        assert p[0] == pytest.approx(0.0)
+        assert p[-1] == pytest.approx(1.0)
+
+
+class TestCalibratedClassifier:
+    def test_wraps_svm_margins(self, blobs):
+        X, y = blobs
+        base = LinearSVC(random_state=0).fit(X, y)
+        calibrated = CalibratedClassifier(base, method="isotonic").fit(X, y)
+        proba = calibrated.predict_proba(X)
+        np.testing.assert_allclose(proba.sum(axis=1), 1.0)
+        assert np.mean(calibrated.predict(X) == y) >= 0.9
+
+    def test_platt_wrapping(self, blobs):
+        X, y = blobs
+        base = LogisticRegression().fit(X, y)
+        calibrated = CalibratedClassifier(base, method="platt").fit(X, y)
+        assert np.mean(calibrated.predict(X) == y) >= 0.9
+
+    def test_unknown_method_rejected(self, blobs):
+        with pytest.raises(ValueError):
+            CalibratedClassifier(LogisticRegression(), method="beta")

@@ -1,0 +1,152 @@
+"""Tests for LogisticRegression, LinearSVC, KNN and LVQ."""
+
+import numpy as np
+import pytest
+
+from repro.ml.knn import KNeighborsClassifier
+from repro.ml.logistic import LogisticRegression
+from repro.ml.lvq import LVQClassifier
+from repro.ml.svm import LinearSVC
+
+
+class TestLogisticRegression:
+    def test_accuracy_on_blobs(self, blobs):
+        X, y = blobs
+        model = LogisticRegression().fit(X, y)
+        assert model.score(X, y) >= 0.95
+
+    def test_gradient_vanishes_at_optimum(self, blobs):
+        """The fitted coefficients must satisfy the penalised score
+        equations: X^T (p - y) + w/C = 0 (intercept unpenalised)."""
+        X, y = blobs
+        model = LogisticRegression(C=1.0, standardize=False).fit(X, y)
+        p = model.predict_proba(X)[:, 1]
+        grad_w = X.T @ (p - y) + model.coef_ / model.C
+        grad_b = np.sum(p - y)
+        assert np.max(np.abs(grad_w)) < 1e-4
+        assert abs(grad_b) < 1e-4
+
+    def test_standardization_equivalent_predictions(self, blobs):
+        X, y = blobs
+        a = LogisticRegression(standardize=True).fit(X, y)
+        b = LogisticRegression(standardize=False).fit(X, y)
+        agreement = np.mean(a.predict(X) == b.predict(X))
+        assert agreement >= 0.98
+
+    def test_stronger_penalty_shrinks_weights(self, blobs):
+        X, y = blobs
+        loose = LogisticRegression(C=100.0).fit(X, y)
+        tight = LogisticRegression(C=0.01).fit(X, y)
+        assert np.linalg.norm(tight.coef_) < np.linalg.norm(loose.coef_)
+
+    def test_single_class(self):
+        X = np.zeros((5, 2))
+        model = LogisticRegression().fit(X, np.ones(5, int))
+        assert (model.predict(X) == 1).all()
+
+    def test_decision_function_consistent_with_proba(self, blobs):
+        X, y = blobs
+        model = LogisticRegression().fit(X, y)
+        margin = model.decision_function(X)
+        p = model.predict_proba(X)[:, 1]
+        np.testing.assert_allclose(p, 1 / (1 + np.exp(-margin)), rtol=1e-10)
+
+
+class TestLinearSVC:
+    def test_accuracy_on_blobs(self, blobs):
+        X, y = blobs
+        model = LinearSVC(random_state=0).fit(X, y)
+        assert model.score(X, y) >= 0.94
+
+    def test_margin_sign_matches_prediction(self, blobs):
+        X, y = blobs
+        model = LinearSVC(random_state=0).fit(X, y)
+        margins = model.decision_function(X)
+        preds = model.predict(X)
+        np.testing.assert_array_equal(preds, (margins >= 0).astype(int))
+
+    def test_platt_probability_monotone_in_margin(self, blobs):
+        X, y = blobs
+        model = LinearSVC(random_state=0).fit(X, y)
+        margins = model.decision_function(X)
+        p = model.predict_proba(X)[:, 1]
+        order = np.argsort(margins)
+        assert np.all(np.diff(p[order]) >= -1e-12)
+
+    def test_multiclass_rejected(self, rng):
+        X = rng.normal(0, 1, (30, 2))
+        with pytest.raises(ValueError):
+            LinearSVC().fit(X, rng.integers(0, 3, 30))
+
+
+class TestKNN:
+    def test_k1_memorizes(self, blobs):
+        X, y = blobs
+        model = KNeighborsClassifier(n_neighbors=1).fit(X, y)
+        assert model.score(X, y) == 1.0
+
+    def test_trivial_neighbor_vote(self):
+        X = np.array([[0.0], [0.1], [0.2], [10.0], [10.1], [10.2]])
+        y = np.array([0, 0, 0, 1, 1, 1])
+        model = KNeighborsClassifier(n_neighbors=3).fit(X, y)
+        assert model.predict([[0.05], [9.9]]).tolist() == [0, 1]
+
+    def test_k_larger_than_train_set(self):
+        X = np.array([[0.0], [1.0]])
+        y = np.array([0, 1])
+        model = KNeighborsClassifier(n_neighbors=10).fit(X, y)
+        assert model.predict([[0.4]]).shape == (1,)
+
+    def test_distance_weighting_prefers_closest(self):
+        # 2 distant majority points vs 1 adjacent minority point.
+        X = np.array([[0.0], [5.0], [5.2]])
+        y = np.array([1, 0, 0])
+        uniform = KNeighborsClassifier(n_neighbors=3, weights="uniform").fit(X, y)
+        weighted = KNeighborsClassifier(n_neighbors=3, weights="distance").fit(X, y)
+        assert uniform.predict([[0.1]])[0] == 0
+        assert weighted.predict([[0.1]])[0] == 1
+
+    def test_invalid_weights_rejected(self):
+        with pytest.raises(ValueError):
+            KNeighborsClassifier(weights="bogus")
+
+    def test_scaling_matters_without_standardize(self):
+        """A huge-scale irrelevant feature must not dominate after the
+        internal z-scoring."""
+        rng = np.random.default_rng(0)
+        signal = rng.normal(0, 1, 200)
+        noise = rng.normal(0, 10_000, 200)
+        X = np.column_stack([signal, noise])
+        y = (signal > 0).astype(int)
+        model = KNeighborsClassifier(n_neighbors=5, standardize=True).fit(X, y)
+        assert model.score(X, y) >= 0.8
+
+
+class TestLVQ:
+    def test_accuracy_on_blobs(self, blobs):
+        X, y = blobs
+        model = LVQClassifier(random_state=0).fit(X, y)
+        assert model.score(X, y) >= 0.9
+
+    def test_prototype_shapes(self, blobs):
+        X, y = blobs
+        model = LVQClassifier(prototypes_per_class=3, random_state=0).fit(X, y)
+        assert model.prototypes_.shape == (6, X.shape[1])
+        assert sorted(set(model.prototype_labels_.tolist())) == [0, 1]
+
+    def test_deterministic_given_seed(self, blobs):
+        X, y = blobs
+        a = LVQClassifier(random_state=11).fit(X, y)
+        b = LVQClassifier(random_state=11).fit(X, y)
+        np.testing.assert_allclose(a.prototypes_, b.prototypes_)
+
+    def test_lvq2_variant_trains(self, blobs):
+        X, y = blobs
+        model = LVQClassifier(lvq2=True, random_state=0).fit(X, y)
+        assert model.score(X, y) >= 0.85
+
+    def test_small_class_capped_prototypes(self):
+        X = np.array([[0.0], [0.1], [5.0], [5.1], [5.2], [5.3]])
+        y = np.array([0, 0, 1, 1, 1, 1])
+        model = LVQClassifier(prototypes_per_class=4, random_state=0).fit(X, y)
+        assert np.sum(model.prototype_labels_ == 0) == 2

@@ -1,0 +1,115 @@
+"""Tests for the CART trees."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ml.tree import DecisionTreeClassifier, DecisionTreeRegressor
+
+
+class TestDecisionTreeClassifier:
+    def test_memorizes_training_data(self, blobs):
+        X, y = blobs
+        tree = DecisionTreeClassifier().fit(X, y)
+        # Unlimited depth on continuous features separates everything.
+        assert tree.score(X, y) >= 0.99
+
+    def test_axis_aligned_split_found_exactly(self):
+        X = np.array([[0.0], [1.0], [2.0], [3.0]])
+        y = np.array([0, 0, 1, 1])
+        tree = DecisionTreeClassifier().fit(X, y)
+        assert tree.root_.feature == 0
+        assert tree.root_.threshold == pytest.approx(1.5)
+        assert (tree.predict([[1.4], [1.6]]) == [0, 1]).all()
+
+    def test_max_depth_limits_tree(self, blobs):
+        X, y = blobs
+        tree = DecisionTreeClassifier(max_depth=2).fit(X, y)
+        assert tree.get_depth() <= 2
+
+    def test_min_samples_leaf_respected(self, blobs):
+        X, y = blobs
+        tree = DecisionTreeClassifier(min_samples_leaf=20).fit(X, y)
+
+        def leaf_sizes(node):
+            if node.is_leaf:
+                return [node.n_samples]
+            return leaf_sizes(node.left) + leaf_sizes(node.right)
+
+        assert min(leaf_sizes(tree.root_)) >= 20
+
+    def test_pure_node_is_leaf(self):
+        X = np.array([[1.0], [2.0], [3.0]])
+        y = np.array([1, 1, 1])
+        tree = DecisionTreeClassifier().fit(X, y)
+        assert tree.root_.is_leaf
+
+    def test_importances_sum_to_one(self, blobs):
+        X, y = blobs
+        tree = DecisionTreeClassifier(max_depth=5).fit(X, y)
+        assert tree.feature_importances_.sum() == pytest.approx(1.0)
+        assert (tree.feature_importances_ >= 0).all()
+
+    def test_irrelevant_feature_gets_no_importance(self, rng):
+        signal = rng.normal(0, 1, 300)
+        noise = np.zeros(300)  # constant column can never split
+        X = np.column_stack([signal, noise])
+        y = (signal > 0).astype(int)
+        tree = DecisionTreeClassifier().fit(X, y)
+        assert tree.feature_importances_[1] == 0.0
+
+    def test_predict_proba_rows_sum_to_one(self, blobs):
+        X, y = blobs
+        proba = DecisionTreeClassifier(max_depth=3).fit(X, y).predict_proba(X)
+        np.testing.assert_allclose(proba.sum(axis=1), 1.0)
+
+    def test_string_labels_roundtrip(self):
+        X = np.array([[0.0], [1.0], [2.0], [3.0]])
+        y = np.array(["benign", "benign", "fraud", "fraud"])
+        tree = DecisionTreeClassifier().fit(X, y)
+        assert set(tree.predict(X)) == {"benign", "fraud"}
+
+    def test_feature_count_validated_at_predict(self, blobs):
+        X, y = blobs
+        tree = DecisionTreeClassifier().fit(X, y)
+        with pytest.raises(ValueError):
+            tree.predict(np.zeros((2, X.shape[1] + 1)))
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier().fit(np.array([[np.nan], [1.0]]), [0, 1])
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(1, 6))
+    def test_deeper_trees_never_fit_worse(self, depth):
+        rng = np.random.default_rng(depth)
+        X = rng.normal(0, 1, (200, 3))
+        y = (X[:, 0] + X[:, 1] > 0).astype(int)
+        shallow = DecisionTreeClassifier(max_depth=depth).fit(X, y).score(X, y)
+        deeper = DecisionTreeClassifier(max_depth=depth + 2).fit(X, y).score(X, y)
+        assert deeper >= shallow - 1e-12
+
+
+class TestDecisionTreeRegressor:
+    def test_step_function_fit(self):
+        X = np.arange(20, dtype=float).reshape(-1, 1)
+        y = (X.ravel() >= 10).astype(float) * 5.0
+        model = DecisionTreeRegressor(max_depth=1).fit(X, y)
+        pred = model.predict(X)
+        np.testing.assert_allclose(pred, y)
+
+    def test_constant_target_single_leaf(self):
+        X = np.arange(10, dtype=float).reshape(-1, 1)
+        model = DecisionTreeRegressor().fit(X, np.full(10, 3.14))
+        assert model.root_.is_leaf
+        assert model.predict([[5.0]])[0] == pytest.approx(3.14)
+
+    def test_deeper_reduces_train_mse(self, rng):
+        X = rng.uniform(-3, 3, (300, 1))
+        y = np.sin(X.ravel())
+        mse = []
+        for depth in (1, 3, 6):
+            pred = DecisionTreeRegressor(max_depth=depth).fit(X, y).predict(X)
+            mse.append(float(np.mean((pred - y) ** 2)))
+        assert mse[0] >= mse[1] >= mse[2]

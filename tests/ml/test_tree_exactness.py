@@ -1,0 +1,91 @@
+"""Exactness checks: the vectorised CART split search against a
+brute-force reference on small random datasets."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ml.tree import (
+    DecisionTreeClassifier,
+    _best_split_classification,
+    _best_split_regression,
+    _gini,
+)
+
+
+def brute_force_best_gini_split(X, y, n_classes):
+    """O(n^2 d) reference: evaluate every midpoint of every feature."""
+    n = len(y)
+    parent_counts = np.bincount(y, minlength=n_classes).astype(float)
+    parent_impurity = _gini(parent_counts)
+    best = (-1, 0.0, 0.0)
+    for feature in range(X.shape[1]):
+        values = np.unique(X[:, feature])
+        for a, b in zip(values, values[1:]):
+            threshold = (a + b) / 2.0
+            left = y[X[:, feature] <= threshold]
+            right = y[X[:, feature] > threshold]
+            if len(left) == 0 or len(right) == 0:
+                continue
+            gini_left = _gini(np.bincount(left, minlength=n_classes).astype(float))
+            gini_right = _gini(np.bincount(right, minlength=n_classes).astype(float))
+            weighted = (len(left) * gini_left + len(right) * gini_right) / n
+            gain = n * (parent_impurity - weighted)
+            if gain > best[2] + 1e-12:
+                best = (feature, threshold, gain)
+    return best
+
+
+class TestSplitExactness:
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(0, 10_000), st.integers(6, 30), st.integers(1, 3))
+    def test_classification_split_matches_brute_force(self, seed, n, d):
+        rng = np.random.default_rng(seed)
+        X = rng.normal(0, 1, (n, d)).round(1)  # rounding creates ties
+        y = rng.integers(0, 2, n)
+        fast = _best_split_classification(
+            X, y, 2, np.arange(d), min_samples_leaf=1
+        )
+        slow = brute_force_best_gini_split(X, y, 2)
+        assert fast[2] == pytest.approx(slow[2], abs=1e-9)
+        if slow[0] >= 0:
+            # Equal-gain ties may pick different features; the gains match.
+            left_fast = np.sum(X[:, fast[0]] <= fast[1])
+            assert 0 < left_fast < n
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 10_000), st.integers(6, 25))
+    def test_regression_split_reduces_sse(self, seed, n):
+        rng = np.random.default_rng(seed)
+        X = rng.normal(0, 1, (n, 2))
+        y = rng.normal(0, 1, n)
+        feature, threshold, gain = _best_split_regression(
+            X, y, np.arange(2), min_samples_leaf=1
+        )
+        if feature < 0:
+            return
+        mask = X[:, feature] <= threshold
+        parent_sse = np.sum((y - y.mean()) ** 2)
+        child_sse = np.sum((y[mask] - y[mask].mean()) ** 2) + np.sum(
+            (y[~mask] - y[~mask].mean()) ** 2
+        )
+        assert gain == pytest.approx(parent_sse - child_sse, abs=1e-8)
+        assert gain >= -1e-9
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_min_samples_leaf_never_violated(self, seed):
+        rng = np.random.default_rng(seed)
+        X = rng.normal(0, 1, (40, 3))
+        y = rng.integers(0, 2, 40)
+        tree = DecisionTreeClassifier(min_samples_leaf=7).fit(X, y)
+
+        def check(node):
+            if node.is_leaf:
+                assert node.n_samples >= 7 or node is tree.root_
+                return
+            check(node.left)
+            check(node.right)
+
+        check(tree.root_)

@@ -1,0 +1,148 @@
+"""Tests for the data buffer and the hash-acknowledged transfer protocol."""
+
+import gzip
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.platform.buffer import DataBuffer, chunk_hash
+from repro.platform.models import FastSnapshotRun, record_from_dict
+from repro.platform.transport import LossyTransport, Transport
+
+
+class Receiver:
+    """Minimal server double: stores chunks, acks with their hash."""
+
+    def __init__(self):
+        self.chunks: list[tuple[str, bytes]] = []
+
+    def receive_chunk(self, kind: str, data: bytes) -> str:
+        self.chunks.append((kind, data))
+        return chunk_hash(data)
+
+    def records(self):
+        out = []
+        for _kind, data in self.chunks:
+            for line in gzip.decompress(data).decode().splitlines():
+                out.append(record_from_dict(json.loads(line)))
+        return out
+
+
+def fast_run(i: int) -> FastSnapshotRun:
+    return FastSnapshotRun(
+        install_id="inst",
+        participant_id="100001",
+        start=float(i),
+        end=float(i) + 60.0,
+        period=5.0,
+        foreground=f"com.app{i}",
+        screen_on=True,
+        battery=0.9,
+    )
+
+
+class TestDataBuffer:
+    def test_no_chunk_before_threshold(self):
+        buffer = DataBuffer(fast_threshold_bytes=10**6)
+        buffer.append("fast", fast_run(0))
+        assert buffer.pending_chunks == 0
+
+    def test_seal_on_threshold(self):
+        buffer = DataBuffer(fast_threshold_bytes=200)
+        buffer.append("fast", fast_run(0))
+        buffer.append("fast", fast_run(1))
+        assert buffer.pending_chunks >= 1
+
+    def test_seal_all_flushes_partial(self):
+        buffer = DataBuffer()
+        buffer.append("fast", fast_run(0))
+        buffer.append("slow", fast_run(1))  # kind routing only
+        buffer.seal_all()
+        assert buffer.pending_chunks == 2
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            DataBuffer().append("medium", fast_run(0))
+
+    def test_roundtrip_through_reliable_transport(self):
+        receiver = Receiver()
+        transport = Transport(receiver)
+        buffer = DataBuffer()
+        originals = [fast_run(i) for i in range(5)]
+        for record in originals:
+            buffer.append("fast", record)
+        buffer.seal_all()
+        delivered = buffer.flush(transport)
+        assert delivered == 5
+        assert buffer.pending_chunks == 0
+        assert receiver.records() == originals
+
+    def test_chunks_deleted_only_after_hash_match(self):
+        receiver = Receiver()
+        buffer = DataBuffer()
+        buffer.append("fast", fast_run(0))
+        buffer.seal_all()
+
+        class WrongAck:
+            def send(self, kind, data):
+                return "bogus-hash"
+
+        buffer.flush(WrongAck(), max_attempts=2)
+        assert buffer.pending_chunks == 1  # kept for retransmission
+        buffer.flush(Transport(receiver))
+        assert buffer.pending_chunks == 0
+
+    def test_retransmission_over_lossy_channel(self):
+        receiver = Receiver()
+        transport = LossyTransport(
+            receiver, loss_probability=0.9, rng=np.random.default_rng(1)
+        )
+        buffer = DataBuffer()
+        for i in range(4):
+            buffer.append("fast", fast_run(i))
+        buffer.seal_all()
+        for _ in range(20):  # keep flushing until everything lands
+            buffer.flush(transport)
+            if buffer.pending_chunks == 0:
+                break
+        assert buffer.pending_chunks == 0
+        assert len(receiver.records()) == 4
+        assert buffer.retransmissions > 0
+
+    def test_corruption_detected_by_hash(self):
+        receiver = Receiver()
+        transport = LossyTransport(
+            receiver, corruption_probability=1.0, rng=np.random.default_rng(0)
+        )
+        buffer = DataBuffer()
+        buffer.append("fast", fast_run(0))
+        buffer.seal_all()
+        buffer.flush(transport, max_attempts=3)
+        # Every attempt corrupted: chunk must not be deleted and the
+        # receiver must have stored nothing.
+        assert buffer.pending_chunks == 1
+        assert receiver.chunks == []
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(1, 40), st.integers(0, 10_000))
+    def test_property_no_loss_no_duplication(self, n_records, seed):
+        """Whatever the loss pattern, retry-until-acked delivers every
+        record exactly once."""
+        receiver = Receiver()
+        transport = LossyTransport(
+            receiver, loss_probability=0.3, rng=np.random.default_rng(seed)
+        )
+        buffer = DataBuffer(fast_threshold_bytes=300)
+        originals = [fast_run(i) for i in range(n_records)]
+        for record in originals:
+            buffer.append("fast", record)
+        buffer.seal_all()
+        for _ in range(200):
+            buffer.flush(transport)
+            if buffer.pending_chunks == 0:
+                break
+        assert buffer.pending_chunks == 0
+        assert sorted(receiver.records(), key=lambda r: r.start) == originals

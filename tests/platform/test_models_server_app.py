@@ -1,0 +1,175 @@
+"""Tests for snapshot models, the backend server, and the mobile app."""
+
+import numpy as np
+import pytest
+
+from repro.platform.models import (
+    PII_REGISTRY,
+    AppChangeEvent,
+    FastSnapshotRun,
+    InitialSnapshot,
+    InstalledAppInfo,
+    SlowSnapshotRun,
+    record_from_dict,
+    record_to_dict,
+)
+from repro.platform.server import RacketStoreServer
+from repro.platform.transport import Transport
+from repro.platform.mobile_app import RacketStoreApp, SignInError
+from repro.simulation.device import SimDevice
+from repro.simulation.clock import SECONDS_PER_DAY
+
+
+class TestModels:
+    def test_fast_run_snapshot_count(self):
+        run = FastSnapshotRun("i", "p", start=0.0, end=60.0, period=5.0,
+                              foreground="a", screen_on=True, battery=0.5)
+        assert run.n_snapshots == 13  # samples at 0,5,...,60
+
+    def test_slow_run_snapshot_count(self):
+        run = SlowSnapshotRun("i", "p", None, start=0.0, end=600.0, period=120.0,
+                              accounts=(), save_mode=False, stopped_apps=())
+        assert run.n_snapshots == 6
+
+    def test_negative_run_rejected(self):
+        with pytest.raises(ValueError):
+            FastSnapshotRun("i", "p", start=10.0, end=5.0, period=5.0,
+                            foreground=None, screen_on=False, battery=0.5).n_snapshots
+
+    def test_app_change_action_validated(self):
+        with pytest.raises(ValueError):
+            AppChangeEvent("i", "p", 0.0, "sideload", "pkg")
+
+    def test_roundtrip_all_record_types(self):
+        records = [
+            FastSnapshotRun("i", "p", 0.0, 10.0, 5.0, "app", True, 0.7),
+            SlowSnapshotRun("i", "p", "aid", 0.0, 240.0, 120.0,
+                            (("com.google", "x@gmail.com"),), True, ("stopped.app",)),
+            AppChangeEvent("i", "p", 5.0, "install", "pkg", 1.0, "hash", 3, 1),
+            InitialSnapshot("i", "p", "aid", 28, "SM-A105F", "Samsung", 0.0,
+                            (InstalledAppInfo("pkg", -10.0, -10.0, "h", 3, 1, 2, 2, True, False),)),
+        ]
+        for record in records:
+            assert record_from_dict(record_to_dict(record)) == record
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ValueError):
+            record_from_dict({"_type": "mystery"})
+
+    def test_pii_registry_matches_table3(self):
+        assert len(PII_REGISTRY) == 6
+        assert {e.pii for e in PII_REGISTRY} == {
+            "Accounts", "Email", "IP address", "Device ID", "Payment Info",
+        }
+        not_stored = [e for e in PII_REGISTRY if e.deletion == "Not stored"]
+        assert {e.pii for e in not_stored} == {"IP address", "Payment Info"}
+
+
+@pytest.fixture()
+def server():
+    return RacketStoreServer()
+
+
+@pytest.fixture()
+def device(rng):
+    return SimDevice("regular", is_worker=False, rng=rng)
+
+
+def make_app(server, device, rng, **kwargs):
+    pid = server.issue_participant_id()
+    return RacketStoreApp(
+        device=device,
+        participant_id=pid,
+        server=server,
+        transport=Transport(server),
+        rng=rng,
+        **kwargs,
+    )
+
+
+class TestSignIn:
+    def test_valid_code_registers_install(self, server, device, rng):
+        app = make_app(server, device, rng)
+        install_id = app.sign_in(0.0)
+        assert len(install_id) == 10
+        assert install_id in server.install_ids()
+
+    def test_invalid_code_rejected_and_nothing_collected(self, server, device, rng):
+        app = RacketStoreApp(device, "999999", server, Transport(server), rng)
+        with pytest.raises(SignInError):
+            app.sign_in(0.0)
+        assert server.install_ids() == []
+        assert server.store.total_documents() == 0
+
+    def test_initial_snapshot_uploaded_at_signin(self, server, device, rng):
+        app = make_app(server, device, rng)
+        app.sign_in(0.0)
+        initial = server.initial_snapshot(app.install_id)
+        assert initial is not None
+        assert initial["manufacturer"] == device.manufacturer
+
+
+class TestCollection:
+    def test_collect_day_uploads_runs(self, server, device, rng, blobs):
+        app = make_app(server, device, rng)
+        app.sign_in(0.0)
+        device.open_app  # device has no apps yet; still collects idle runs
+        app.collect_day(0.0)
+        assert len(server.fast_runs(app.install_id)) >= 1
+        assert len(server.slow_runs(app.install_id)) >= 1
+        assert server.snapshot_count(app.install_id) > 0
+
+    def test_usage_permission_denied_blanks_foreground(self, server, rng):
+        device = SimDevice("regular", is_worker=False, rng=rng)
+        app = make_app(server, device, rng, grant_usage_stats=False)
+        app.sign_in(0.0)
+        app.collect_day(0.0)
+        for run in server.fast_runs(app.install_id):
+            assert run["foreground"] is None
+            assert run["usage_permission"] is False
+
+    def test_accounts_permission_denied_blanks_accounts(self, server, rng):
+        from repro.simulation.accounts import DeviceAccount
+
+        device = SimDevice("regular", is_worker=False, rng=rng)
+        device.register_account(DeviceAccount("com.google", "a@gmail.com", "1" * 21))
+        app = make_app(server, device, rng, grant_get_accounts=False)
+        app.sign_in(0.0)
+        app.collect_day(0.0)
+        for run in server.slow_runs(app.install_id):
+            assert run["accounts"] == []
+            assert run["accounts_permission"] is False
+
+    def test_collect_after_uninstall_fails(self, server, device, rng):
+        app = make_app(server, device, rng)
+        app.sign_in(0.0)
+        app.uninstall(SECONDS_PER_DAY)
+        with pytest.raises(RuntimeError):
+            app.collect_day(SECONDS_PER_DAY)
+
+    def test_observation_interval_spans_collection(self, server, device, rng):
+        app = make_app(server, device, rng)
+        app.sign_in(0.0)
+        app.collect_day(0.0)
+        first, last = server.observation_interval(app.install_id)
+        assert first <= last <= SECONDS_PER_DAY
+
+
+class TestServerQueries:
+    def test_register_install_requires_known_participant(self, server):
+        with pytest.raises(PermissionError):
+            server.register_install("000000", "1234567890", None, 0.0)
+
+    def test_malformed_chunk_counted_and_acked(self, server):
+        ack = server.receive_chunk("fast", b"this is not gzip")
+        assert isinstance(ack, str) and len(ack) == 64
+        assert server.stats.malformed_chunks == 1
+
+    def test_payments(self, server, device, rng):
+        app = make_app(server, device, rng)
+        app.sign_in(0.0)
+        for day in range(3):
+            app.collect_day(day * SECONDS_PER_DAY)
+        payout = server.total_payout_usd()
+        # $1 install + $0.20/day for 2-3 observed days.
+        assert 1.2 <= payout <= 1.8

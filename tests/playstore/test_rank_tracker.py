@@ -1,0 +1,78 @@
+"""Tests for the keyword rank tracker."""
+
+import pytest
+
+from repro.playstore.catalog import Catalog
+from repro.playstore.rank_tracker import RankTracker
+
+
+@pytest.fixture()
+def world(rng):
+    catalog = Catalog(rng)
+    for _ in range(40):
+        catalog.add_popular_app()
+    app = catalog.add_promoted_app()
+    return catalog, app
+
+
+class TestRankTracker:
+    def test_series_grows_per_day(self, world):
+        catalog, app = world
+        tracker = RankTracker(catalog)
+        keyword = app.title.split()[0].lower()
+        tracker.track(app.package, keyword)
+        for day in range(4):
+            tracker.record_day(day)
+        series = tracker.series(app.package, keyword)
+        assert [s.day for s in series] == [0, 1, 2, 3]
+
+    def test_track_idempotent(self, world):
+        catalog, app = world
+        tracker = RankTracker(catalog)
+        tracker.track(app.package, "kw")
+        tracker.record_day(0)
+        tracker.track(app.package, "kw")  # must not clear history
+        assert len(tracker.series(app.package, "kw")) == 1
+
+    def test_campaign_improves_rank(self, world):
+        catalog, app = world
+        tracker = RankTracker(catalog)
+        keyword = app.title.split()[0].lower()
+        tracker.track(app.package, keyword)
+        tracker.record_day(0)
+        # Campaign lands: installs, reviews and rating climb.
+        catalog.update(
+            app.with_counts(app.install_count + 10**7, app.review_count + 50_000, 4.9)
+        )
+        tracker.record_day(1)
+        series = tracker.series(app.package, keyword)
+        assert series[1].rank < series[0].rank
+        assert tracker.best_rank(app.package, keyword) == series[1].rank
+
+    def test_jump_detection(self, world):
+        catalog, app = world
+        tracker = RankTracker(catalog)
+        keyword = app.title.split()[0].lower()
+        tracker.track(app.package, keyword)
+        tracker.record_day(0)
+        catalog.update(
+            app.with_counts(app.install_count + 10**7, app.review_count + 50_000, 4.9)
+        )
+        tracker.record_day(1)
+        jumps = tracker.detect_jumps(min_places=5, window_days=3)
+        assert jumps and jumps[0].package == app.package
+        assert jumps[0].places_gained >= 5
+
+    def test_no_jump_without_change(self, world):
+        catalog, app = world
+        tracker = RankTracker(catalog)
+        tracker.track(app.package, "zzz")
+        for day in range(5):
+            tracker.record_day(day)
+        assert tracker.detect_jumps(min_places=1) == []
+
+    def test_untracked_series_empty(self, world):
+        catalog, _ = world
+        tracker = RankTracker(catalog)
+        assert tracker.series("com.none", "kw") == []
+        assert tracker.best_rank("com.none", "kw") is None

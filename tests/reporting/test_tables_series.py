@@ -1,0 +1,80 @@
+"""Tests for table rendering and figure-data export."""
+
+import csv
+
+import pytest
+
+from repro.reporting import format_value, paper_vs_measured_rows, render_table
+
+
+class TestFormatValue:
+    def test_floats(self):
+        assert format_value(0.123456) == "0.123"
+        assert format_value(123.456) == "123.5"
+        assert format_value(12345.6) == "12,346"
+
+    def test_nan_dash(self):
+        assert format_value(float("nan")) == "-"
+
+    def test_bool(self):
+        assert format_value(True) == "yes"
+        assert format_value(False) == "no"
+
+    def test_trailing_zeros_stripped(self):
+        assert format_value(2.0) == "2"
+
+
+class TestRenderTable:
+    def test_alignment_and_borders(self):
+        text = render_table(["a", "bb"], [(1, 2), (333, 4)])
+        lines = text.splitlines()
+        assert lines[0].startswith("+") and lines[0].endswith("+")
+        widths = {len(line) for line in lines}
+        assert len(widths) == 1  # every row the same width
+
+    def test_empty_rows(self):
+        text = render_table(["x"], [])
+        assert "x" in text
+
+    def test_paper_vs_measured_ratio(self):
+        text = paper_vs_measured_rows([("metric", 10.0, 12.0)])
+        assert "1.2" in text
+        assert "metric" in text
+
+
+class TestSeriesExport:
+    @pytest.fixture(scope="class")
+    def exported(self, tmp_path_factory):
+        from repro.core import DetectionPipeline
+        from repro.experiments import Workbench
+        from repro.reporting import export_figure_data
+        from repro.simulation import SimulationConfig
+
+        workbench = Workbench(SimulationConfig.small(), DetectionPipeline(n_splits=5))
+        out = tmp_path_factory.mktemp("figures")
+        written = export_figure_data(workbench, out)
+        return out, written
+
+    def test_all_figures_written(self, exported):
+        out, written = exported
+        assert set(written) == {
+            "fig04", "fig05", "fig06", "fig07", "fig08",
+            "fig09", "fig10", "fig12", "fig15",
+        }
+        assert all(count > 0 for count in written.values())
+
+    def test_csv_parseable_with_expected_columns(self, exported):
+        out, _ = exported
+        with (out / "fig07_install_to_review.csv").open() as handle:
+            rows = list(csv.DictReader(handle))
+        assert {"group", "delay_days"} == set(rows[0])
+        assert {row["group"] for row in rows} == {"worker", "regular"}
+        assert all(float(row["delay_days"]) > 0 for row in rows)
+
+    def test_fig15_only_workers(self, exported):
+        out, _ = exported
+        with (out / "fig15_suspiciousness.csv").open() as handle:
+            rows = list(csv.DictReader(handle))
+        assert rows
+        for row in rows:
+            assert 0.0 <= float(row["app_suspiciousness"]) <= 1.0

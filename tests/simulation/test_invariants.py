@@ -1,0 +1,111 @@
+"""Property-style invariants over simulated device histories.
+
+These are the consistency guarantees the analyses rely on: event
+ordering per app, session/window sanity, review-time coherence.
+Checked over the shared small study (hundreds of devices-days of
+generated behaviour)."""
+
+import numpy as np
+
+from repro.simulation.events import EventType
+
+
+def _events_by_package(device):
+    out = {}
+    for event in device.events:
+        out.setdefault(event.package, []).append(event)
+    return out
+
+
+class TestEventOrdering:
+    def test_first_study_event_per_new_package_is_install(self, study):
+        """Any package first seen during the study must start its event
+        history with an INSTALL (uninstall/foreground of an unknown
+        package would corrupt the delta stream)."""
+        for participant in study.participants:
+            device = participant.device
+            preinstalled = {
+                rec.package for rec in device.installed.values() if rec.preinstalled
+            }
+            per_package = _events_by_package(device)
+            for package, events in per_package.items():
+                if package in preinstalled:
+                    continue  # pre-installed apps never emit an INSTALL
+                ordered = sorted(events)
+                study_events = [e for e in ordered if e.timestamp >= 0.0]
+                pre_study = [e for e in ordered if e.timestamp < 0.0]
+                if not pre_study and study_events:
+                    assert study_events[0].event_type is EventType.INSTALL, (
+                        f"{device.device_id}:{package}"
+                    )
+
+    def test_no_double_install_without_uninstall(self, study):
+        for participant in study.participants[:30]:
+            per_package = _events_by_package(participant.device)
+            for package, events in per_package.items():
+                installed = False
+                for event in sorted(events):
+                    if event.event_type is EventType.INSTALL:
+                        assert not installed, f"double install of {package}"
+                        installed = True
+                    elif event.event_type is EventType.UNINSTALL:
+                        assert installed, f"uninstall before install of {package}"
+                        installed = False
+
+    def test_uninstalled_packages_not_installed(self, study):
+        for participant in study.participants[:30]:
+            device = participant.device
+            for timestamp, package in device.uninstalled_log:
+                record = device.installed.get(package)
+                if record is not None:
+                    # Re-installed later: its install time must be after
+                    # the uninstall.
+                    assert record.install_time > timestamp
+
+    def test_sessions_reference_real_installs(self, study):
+        """Every foreground session started while the app was installed
+        (it may have been uninstalled later)."""
+        for participant in study.participants[:20]:
+            device = participant.device
+            known = set(device.installed) | {p for _, p in device.uninstalled_log}
+            for session in device.sessions:
+                assert session.package in known
+
+    def test_review_events_nonconcurrent_duplicates(self, study):
+        """Review events for one device/app pair have distinct times."""
+        for participant in study.participants[:30]:
+            per_package = _events_by_package(participant.device)
+            for package, events in per_package.items():
+                review_times = [
+                    e.timestamp for e in events if e.event_type is EventType.REVIEW
+                ]
+                assert len(review_times) == len(set(review_times))
+
+
+class TestStoreCoherence:
+    def test_store_reviews_match_device_events(self, study):
+        """Every REVIEW event should correspond to a live or replaced
+        review in the store from one of the device's accounts."""
+        for participant in study.participants[:15]:
+            device = participant.device
+            gids = {a.google_id for a in device.gmail_accounts()}
+            reviewed_events = {
+                e.package
+                for e in device.events
+                if e.event_type is EventType.REVIEW
+            }
+            reviewed_store = set()
+            for gid in gids:
+                reviewed_store.update(
+                    r.app_package for r in study.review_store.reviews_by_google_id(gid)
+                )
+            # Store may hold more (replaced reviews drop events never
+            # fire); every event package should appear in the store
+            # unless its review was later replaced by the same account.
+            missing = reviewed_events - reviewed_store
+            assert len(missing) <= max(2, len(reviewed_events) // 10)
+
+    def test_campaign_delivered_counts_bounded(self, study):
+        for campaign in study.board.campaigns():
+            assert 0 <= campaign.delivered_installs <= campaign.target_installs
+            assert 0 <= campaign.delivered_reviews <= campaign.target_reviews

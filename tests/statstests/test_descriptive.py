@@ -1,0 +1,69 @@
+"""Tests for descriptive summaries and ECDF helpers."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.statstests import Summary, ecdf, histogram_counts, summarize
+
+
+class TestSummarize:
+    def test_known_values(self):
+        s = summarize([1.0, 2.0, 3.0, 4.0, 5.0])
+        assert s.n == 5
+        assert s.mean == pytest.approx(3.0)
+        assert s.median == pytest.approx(3.0)
+        assert s.minimum == 1.0 and s.maximum == 5.0
+        assert s.total == pytest.approx(15.0)
+
+    def test_paper_style_format(self):
+        s = summarize([1.0, 2.0, 3.0])
+        text = s.paper_style()
+        assert "M =" in text and "SD =" in text and "max =" in text
+
+    def test_nonfinite_dropped(self):
+        s = summarize([1.0, float("nan"), 2.0, float("inf")])
+        assert s.n == 2
+
+    def test_empty_summary(self):
+        s = summarize([])
+        assert s.n == 0
+        assert math.isnan(s.mean)
+        assert s.total == 0.0
+
+    def test_single_value_zero_std(self):
+        s = summarize([42.0])
+        assert s.std == 0.0
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=100))
+    def test_property_order_invariants(self, values):
+        s = summarize(values)
+        assert s.minimum <= s.q1 <= s.median <= s.q3 <= s.maximum
+        assert s.minimum <= s.mean <= s.maximum
+
+
+class TestEcdf:
+    def test_sorted_probabilities(self, rng):
+        values, probs = ecdf(rng.normal(0, 1, 50))
+        assert np.all(np.diff(values) >= 0)
+        assert probs[0] == pytest.approx(1 / 50)
+        assert probs[-1] == pytest.approx(1.0)
+
+    def test_empty(self):
+        values, probs = ecdf([])
+        assert values.size == 0 and probs.size == 0
+
+
+class TestHistogram:
+    def test_counts_total(self, rng):
+        data = rng.uniform(0, 10, 200)
+        counts = histogram_counts(data, [0, 2, 4, 6, 8, 10])
+        assert counts.sum() == 200
+
+    def test_known_binning(self):
+        counts = histogram_counts([0.5, 1.5, 1.6, 2.5], [0, 1, 2, 3])
+        assert counts.tolist() == [1, 2, 1]

@@ -1,0 +1,88 @@
+"""Tests for effect sizes and bootstrap confidence intervals."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.statstests import bootstrap_ci, cliffs_delta, cohens_d, effect_sizes
+
+
+class TestCohensD:
+    def test_known_value(self):
+        # Two unit-variance groups one mean apart: d = 1.
+        rng = np.random.default_rng(0)
+        a = rng.normal(1, 1, 5000)
+        b = rng.normal(0, 1, 5000)
+        assert cohens_d(a, b) == pytest.approx(1.0, abs=0.07)
+
+    def test_sign_follows_direction(self, rng):
+        a = rng.normal(0, 1, 100)
+        b = rng.normal(2, 1, 100)
+        assert cohens_d(a, b) < 0
+        assert cohens_d(b, a) > 0
+
+    def test_identical_groups_zero(self, rng):
+        a = rng.normal(0, 1, 50)
+        assert cohens_d(a, a) == pytest.approx(0.0)
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            cohens_d([1.0], [2.0, 3.0])
+
+
+class TestCliffsDelta:
+    def test_complete_dominance(self):
+        assert cliffs_delta([10, 11, 12], [1, 2, 3]) == 1.0
+        assert cliffs_delta([1, 2, 3], [10, 11, 12]) == -1.0
+
+    def test_identical_groups_zero(self):
+        assert cliffs_delta([1, 2, 3], [1, 2, 3]) == pytest.approx(0.0)
+
+    def test_matches_naive_computation(self, rng):
+        a = rng.integers(0, 20, 40).astype(float)
+        b = rng.integers(5, 25, 35).astype(float)
+        naive = np.mean(
+            [np.sign(x - y) for x in a for y in b]
+        )
+        assert cliffs_delta(a, b) == pytest.approx(naive, abs=1e-12)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.lists(st.floats(-100, 100), min_size=2, max_size=40),
+        st.lists(st.floats(-100, 100), min_size=2, max_size=40),
+    )
+    def test_property_bounded_and_antisymmetric(self, a, b):
+        delta = cliffs_delta(a, b)
+        assert -1.0 <= delta <= 1.0
+        assert cliffs_delta(b, a) == pytest.approx(-delta, abs=1e-12)
+
+    def test_magnitude_bands(self, rng):
+        huge = effect_sizes(rng.normal(5, 1, 200), rng.normal(0, 1, 200))
+        tiny = effect_sizes(rng.normal(0.02, 1, 200), rng.normal(0, 1, 200))
+        assert huge.magnitude() == "large"
+        assert tiny.magnitude() in ("negligible", "small")
+
+
+class TestBootstrapCI:
+    def test_ci_contains_true_mean(self, rng):
+        sample = rng.normal(10, 2, 300)
+        lo, hi = bootstrap_ci(sample, random_state=0)
+        assert lo <= 10.2 and hi >= 9.8
+        assert lo < sample.mean() < hi
+
+    def test_ci_narrows_with_sample_size(self, rng):
+        small = rng.normal(0, 1, 30)
+        large = rng.normal(0, 1, 3000)
+        lo_s, hi_s = bootstrap_ci(small, random_state=0)
+        lo_l, hi_l = bootstrap_ci(large, random_state=0)
+        assert (hi_l - lo_l) < (hi_s - lo_s)
+
+    def test_custom_statistic(self, rng):
+        sample = rng.exponential(1, 500)
+        lo, hi = bootstrap_ci(sample, statistic=np.median, random_state=0)
+        assert lo < np.median(sample) < hi
+
+    def test_deterministic_given_seed(self, rng):
+        sample = rng.normal(0, 1, 100)
+        assert bootstrap_ci(sample, random_state=7) == bootstrap_ci(sample, random_state=7)
