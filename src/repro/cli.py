@@ -10,13 +10,20 @@ Commands
 ``dashboard``   print the internal dashboard overview + validation issues
 ``findings``    check every §6-§8 paper finding against a fresh run
 ``export-figures``  write the raw series behind each figure as CSV
+``profile``     run a full study + report with tracing on; print the
+                span-tree timing report and the top-N slowest spans
+
+``simulate``/``report``/``train``/``profile`` accept ``--metrics-out
+FILE`` to enable the metrics registry and archive its JSON export.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
+from . import obs
 from .core.model_io import export_detector, import_detector
 from .core.observations import build_observations
 from .core.ondevice import OnDeviceDetector
@@ -51,16 +58,39 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--seed", type=int, default=None, help="override the RNG seed")
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("simulate", help="run a study and summarise the dataset")
+    def add_metrics_out(command_parser: argparse.ArgumentParser) -> None:
+        command_parser.add_argument(
+            "--metrics-out",
+            default=None,
+            metavar="FILE",
+            help="enable the metrics registry and write its JSON export here",
+        )
+
+    simulate = sub.add_parser("simulate", help="run a study and summarise the dataset")
+    add_metrics_out(simulate)
 
     experiment = sub.add_parser("experiment", help="regenerate one table/figure")
     experiment.add_argument("experiment_id", nargs="?", help="e.g. table1, fig07")
     experiment.add_argument("--list", action="store_true", help="list experiment ids")
 
-    sub.add_parser("report", help="regenerate every table and figure")
+    report = sub.add_parser("report", help="regenerate every table and figure")
+    add_metrics_out(report)
 
     train = sub.add_parser("train", help="train detectors and export JSON models")
     train.add_argument("--out", default="detectors.json", help="output path")
+    add_metrics_out(train)
+
+    profile = sub.add_parser(
+        "profile", help="run a study + every experiment under the profiler"
+    )
+    profile.add_argument(
+        "--top", type=int, default=12, help="size of the slowest-spans table"
+    )
+    profile.add_argument(
+        "--prometheus", action="store_true",
+        help="also print the Prometheus text exposition",
+    )
+    add_metrics_out(profile)
 
     classify = sub.add_parser("classify", help="scan a fresh cohort with exported models")
     classify.add_argument("--models", default="detectors.json", help="exported models path")
@@ -109,6 +139,13 @@ def _cmd_experiment(args) -> int:
         for experiment_id in EXPERIMENTS:
             print(experiment_id)
         return 0
+    if args.experiment_id not in EXPERIMENTS:
+        print(
+            f"error: unknown experiment {args.experiment_id!r}; "
+            f"known: {', '.join(EXPERIMENTS)}",
+            file=sys.stderr,
+        )
+        return 2
     workbench = Workbench(_config_for(args.scale, args.seed))
     print(run_experiment(args.experiment_id, workbench).render())
     return 0
@@ -141,8 +178,6 @@ def _cmd_train(args) -> int:
 
 
 def _cmd_classify(args) -> int:
-    import json
-
     with open(args.models) as handle:
         payload = json.load(handle)
     app_model = import_detector(json.dumps(payload["app"]))
@@ -203,6 +238,47 @@ def _cmd_write_experiments(args) -> int:
     return 0
 
 
+def _cmd_profile(args) -> int:
+    obs.configure(metrics=True, tracing=True)
+    workbench = Workbench(_config_for(args.scale, args.seed))
+    workbench.data  # simulation + ingest + crawl run under their own spans
+    for experiment_id in EXPERIMENTS:
+        run_experiment(experiment_id, workbench)
+
+    tracer = obs.tracer()
+    registry = obs.registry()
+    print("== span tree (wall time) ==")
+    print(tracer.render())
+    print()
+    print(f"== top {args.top} slowest spans ==")
+    print(tracer.render_slowest(args.top))
+    print()
+    print("== pipeline counters ==")
+    counters = registry.to_json()["counters"]
+    rows = [(name, int(value)) for name, value in sorted(counters.items())]
+    print(render_table(["counter", "value"], rows))
+    print()
+    print("== per-model fit time (seconds per CV fold) ==")
+    fit_rows = []
+    for hist in registry.series("ml_fit_seconds"):
+        labels = dict(hist.labels)
+        fit_rows.append(
+            (
+                labels.get("model", "?"),
+                hist.count,
+                round(hist.mean, 4),
+                round(hist.quantile(0.95), 4),
+                round(hist.sum, 3),
+            )
+        )
+    print(render_table(["model", "folds", "mean", "p95", "total"],
+                       sorted(fit_rows, key=lambda r: -r[4])))
+    if args.prometheus:
+        print()
+        print(registry.render_prometheus())
+    return 0
+
+
 def _cmd_export_figures(args) -> int:
     from .reporting.series import export_figure_data
 
@@ -225,6 +301,7 @@ _COMMANDS = {
     "classify": _cmd_classify,
     "dashboard": _cmd_dashboard,
     "findings": _cmd_findings,
+    "profile": _cmd_profile,
     "export-figures": _cmd_export_figures,
     "write-experiments": _cmd_write_experiments,
 }
@@ -232,11 +309,33 @@ _COMMANDS = {
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    # argparse already rejects unknown commands, so the handler lookup
+    # lives outside any try/except: a KeyError raised *inside* a handler
+    # must propagate instead of being misreported as an unknown command.
+    handler = _COMMANDS[args.command]
+    metrics_out = getattr(args, "metrics_out", None)
+    was_enabled = obs.enabled()
+    if metrics_out and not obs.metrics_enabled():
+        obs.configure(metrics=True, tracing=True)
     try:
-        return _COMMANDS[args.command](args)
-    except KeyError as error:
-        print(f"error: {error}", file=sys.stderr)
-        return 2
+        code = handler(args)
+        if metrics_out:
+            try:
+                with open(metrics_out, "w") as handle:
+                    json.dump(
+                        obs.registry().to_json(), handle, indent=2, sort_keys=True
+                    )
+            except OSError as exc:
+                print(f"error: cannot write metrics to {metrics_out}: {exc}",
+                      file=sys.stderr)
+                return 1
+            print(f"wrote metrics to {metrics_out}", file=sys.stderr)
+    finally:
+        # Commands (profile, --metrics-out) may enable observability;
+        # restore the no-op default so an embedding process is unaffected.
+        if not was_enabled and obs.enabled():
+            obs.reset()
+    return code
 
 
 if __name__ == "__main__":

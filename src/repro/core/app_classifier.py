@@ -11,6 +11,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from .. import obs
 from ..ml import (
     GradientBoostingClassifier,
     KNeighborsClassifier,
@@ -76,19 +77,22 @@ def evaluate_app_algorithms(
     algorithms = algorithms or APP_ALGORITHMS(random_state)
     results: dict[str, CrossValidationResult] = {}
     for name, estimator in algorithms.items():
-        results[name] = cross_validate(
-            estimator,
-            dataset.X,
-            dataset.y,
-            n_splits=n_splits,
-            n_repeats=n_repeats,
-            resample=resample,
-            random_state=random_state,
-        )
+        with obs.trace(f"ml.cv.app.{name}"):
+            results[name] = cross_validate(
+                estimator,
+                dataset.X,
+                dataset.y,
+                n_splits=n_splits,
+                n_repeats=n_repeats,
+                resample=resample,
+                random_state=random_state,
+                name=name,
+            )
 
     # Figure 13: mean decrease in Gini from a forest over the full data.
-    forest = RandomForestClassifier(n_estimators=150, random_state=random_state)
-    forest.fit(dataset.X, dataset.y)
+    with obs.trace("ml.importances.app"):
+        forest = RandomForestClassifier(n_estimators=150, random_state=random_state)
+        forest.fit(dataset.X, dataset.y)
     importances = dict(zip(dataset.feature_names, forest.feature_importances_))
 
     return AppClassifierEvaluation(

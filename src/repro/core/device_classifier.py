@@ -13,6 +13,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from .. import obs
 from ..ml import (
     GradientBoostingClassifier,
     KNeighborsClassifier,
@@ -82,18 +83,21 @@ def evaluate_device_algorithms(
     algorithms = algorithms or DEVICE_ALGORITHMS(random_state)
     results: dict[str, CrossValidationResult] = {}
     for name, estimator in algorithms.items():
-        results[name] = cross_validate(
-            estimator,
-            dataset.X,
-            dataset.y,
-            n_splits=n_splits,
-            n_repeats=n_repeats,
-            resample=resample,
-            random_state=random_state,
-        )
+        with obs.trace(f"ml.cv.device.{name}"):
+            results[name] = cross_validate(
+                estimator,
+                dataset.X,
+                dataset.y,
+                n_splits=n_splits,
+                n_repeats=n_repeats,
+                resample=resample,
+                random_state=random_state,
+                name=name,
+            )
 
-    forest = RandomForestClassifier(n_estimators=150, random_state=random_state)
-    forest.fit(dataset.X, dataset.y)
+    with obs.trace("ml.importances.device"):
+        forest = RandomForestClassifier(n_estimators=150, random_state=random_state)
+        forest.fit(dataset.X, dataset.y)
     importances = dict(zip(dataset.feature_names, forest.feature_importances_))
 
     return DeviceClassifierEvaluation(

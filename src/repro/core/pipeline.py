@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from .. import obs
 from ..simulation.world import StudyData
 from .app_classifier import AppClassifier, AppClassifierEvaluation, evaluate_app_algorithms
 from .app_features import app_feature_vector
@@ -94,40 +95,50 @@ class DetectionPipeline:
         self.random_state = random_state
 
     def run(self, data: StudyData) -> PipelineResult:
-        observations = build_observations(data, data.eligible_participants(min_days=2))
+        with obs.trace("pipeline"):
+            return self._run_traced(data)
+
+    def _run_traced(self, data: StudyData) -> PipelineResult:
+        with obs.trace("pipeline.observations"):
+            observations = build_observations(data, data.eligible_participants(min_days=2))
 
         # §7: app classifier on the labeled held-out devices.  Fold count
         # is clamped to the minority-class size so tiny (e.g. evasion-
         # scenario) cohorts still cross-validate.
-        app_dataset = build_app_dataset(data, observations, self.labeling)
+        with obs.trace("pipeline.app_dataset"):
+            app_dataset = build_app_dataset(data, observations, self.labeling)
         app_splits = max(
             2, min(self.n_splits, app_dataset.n_suspicious, app_dataset.n_regular)
         )
-        app_evaluation = evaluate_app_algorithms(
-            app_dataset,
-            n_splits=app_splits,
-            n_repeats=self.app_cv_repeats,
-            resample=self.app_resample,
-            random_state=self.random_state,
-        )
-        app_model = AppClassifier(self.random_state).fit(app_dataset)
+        with obs.trace("pipeline.app_eval"):
+            app_evaluation = evaluate_app_algorithms(
+                app_dataset,
+                n_splits=app_splits,
+                n_repeats=self.app_cv_repeats,
+                resample=self.app_resample,
+                random_state=self.random_state,
+            )
+            app_model = AppClassifier(self.random_state).fit(app_dataset)
 
         # Score every device's installed apps -> suspiciousness feature.
-        suspiciousness = self.score_devices(data, observations, app_model)
+        with obs.trace("pipeline.score_devices"):
+            suspiciousness = self.score_devices(data, observations, app_model)
 
         # §8: device classifier with the suspiciousness feature wired in.
-        device_dataset = build_device_dataset(data, observations, suspiciousness)
+        with obs.trace("pipeline.device_dataset"):
+            device_dataset = build_device_dataset(data, observations, suspiciousness)
         device_splits = max(
             2, min(self.n_splits, device_dataset.n_worker, device_dataset.n_regular)
         )
-        device_evaluation = evaluate_device_algorithms(
-            device_dataset,
-            n_splits=device_splits,
-            n_repeats=self.device_cv_repeats,
-            resample=self.device_resample,
-            random_state=self.random_state,
-        )
-        device_model = DeviceClassifier(self.random_state).fit(device_dataset)
+        with obs.trace("pipeline.device_eval"):
+            device_evaluation = evaluate_device_algorithms(
+                device_dataset,
+                n_splits=device_splits,
+                n_repeats=self.device_cv_repeats,
+                resample=self.device_resample,
+                random_state=self.random_state,
+            )
+            device_model = DeviceClassifier(self.random_state).fit(device_dataset)
 
         result = PipelineResult(
             observations=observations,
@@ -139,7 +150,10 @@ class DetectionPipeline:
             device_evaluation=device_evaluation,
             device_model=device_model,
         )
-        result.verdicts = self._verdicts(data, observations, device_model, suspiciousness)
+        with obs.trace("pipeline.verdicts"):
+            result.verdicts = self._verdicts(
+                data, observations, device_model, suspiciousness
+            )
         return result
 
     @staticmethod

@@ -7,8 +7,10 @@ benchmark harness and examples call.
 
 from __future__ import annotations
 
+import time
 from typing import Callable
 
+from .. import obs
 from .classifiers import (
     run_fig13_app_importance,
     run_fig14_device_importance,
@@ -62,7 +64,19 @@ def run_experiment(experiment_id: str, workbench: Workbench | None = None) -> Ex
             f"unknown experiment {experiment_id!r}; known: {sorted(EXPERIMENTS)}"
         )
     workbench = workbench or shared_workbench()
-    return EXPERIMENTS[experiment_id](workbench)
+    started = time.perf_counter()
+    with obs.trace(f"experiment.{experiment_id}"):
+        report = EXPERIMENTS[experiment_id](workbench)
+    elapsed = time.perf_counter() - started
+    obs.histogram(
+        "experiment_seconds",
+        {"experiment": experiment_id},
+        help="per-experiment wall time",
+    ).observe(elapsed)
+    obs.get_logger("experiments").info(
+        "experiment_complete", id=experiment_id, seconds=round(elapsed, 3)
+    )
+    return report
 
 
 def run_all(workbench: Workbench | None = None) -> list[ExperimentReport]:

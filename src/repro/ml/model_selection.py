@@ -8,11 +8,13 @@ only, so no synthetic point ever leaks into validation.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Iterator
 
 import numpy as np
 
+from .. import obs
 from .base import check_random_state, check_X_y, clone
 from .metrics import ClassificationReport, classification_report
 from .sampling import RESAMPLERS
@@ -139,6 +141,7 @@ def cross_validate(
     resample: str | Callable | None = None,
     pos_label=1,
     random_state: int | None = None,
+    name: str | None = None,
 ) -> CrossValidationResult:
     """Repeated stratified k-fold CV with in-fold resampling.
 
@@ -150,11 +153,22 @@ def cross_validate(
         ``None``/``"none"``, ``"smote"``, ``"oversample"``,
         ``"undersample"``, or a callable ``(X, y, random_state) -> (X, y)``
         applied to each training split.
+    name:
+        Label for the per-fold ``ml_fit_seconds``/``ml_predict_seconds``
+        timing metrics (defaults to the estimator's class name).
     """
     X, y = check_X_y(X, y)
     if isinstance(resample, str):
         resample = RESAMPLERS[resample]
     rng = check_random_state(random_state)
+    model_name = name or type(estimator).__name__
+    fit_timer = obs.histogram(
+        "ml_fit_seconds", {"model": model_name}, help="per-fold fit wall time"
+    )
+    predict_timer = obs.histogram(
+        "ml_predict_seconds", {"model": model_name}, help="per-fold predict wall time"
+    )
+    fold_counter = obs.counter("ml_folds_total", {"model": model_name})
 
     result = CrossValidationResult()
     for repeat in range(n_repeats):
@@ -167,8 +181,13 @@ def cross_validate(
                     X_train, y_train, random_state=int(rng.integers(0, 2**31 - 1))
                 )
             model = clone(estimator)
+            started = time.perf_counter()
             model.fit(X_train, y_train)
+            fit_timer.observe(time.perf_counter() - started)
+            started = time.perf_counter()
             y_pred = model.predict(X[test])
+            predict_timer.observe(time.perf_counter() - started)
+            fold_counter.inc()
             y_score = None
             if hasattr(model, "predict_proba"):
                 proba = model.predict_proba(X[test])

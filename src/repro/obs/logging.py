@@ -1,0 +1,93 @@
+"""Lightweight structured logger.
+
+One log call is an event name plus key=value fields; the line format is
+stable and grep-friendly.  Timestamps are seconds since the logger was
+configured (monotonic), not wall-clock, so two runs of the same seeded
+study produce comparable logs.  The global default is a
+:class:`NullLogger`: instrumented code can log unconditionally and pay
+one no-op method call when observability is off.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import TextIO
+
+__all__ = ["StructLogger", "NullLogger", "LEVELS"]
+
+LEVELS = {"debug": 10, "info": 20, "warning": 30, "error": 40}
+
+
+class StructLogger:
+    """Structured key=value logger bound to a component name."""
+
+    __slots__ = ("name", "_stream", "_threshold", "_epoch", "_fields")
+
+    def __init__(
+        self,
+        name: str = "repro",
+        stream: TextIO | None = None,
+        level: str = "info",
+        _epoch: float | None = None,
+        _fields: tuple[tuple[str, object], ...] = (),
+    ) -> None:
+        self.name = name
+        self._stream = stream or sys.stderr
+        self._threshold = LEVELS[level]
+        self._epoch = time.perf_counter() if _epoch is None else _epoch
+        self._fields = _fields
+
+    def bind(self, **fields) -> "StructLogger":
+        """Child logger that stamps these fields on every line."""
+        child = StructLogger.__new__(StructLogger)
+        child.name = self.name
+        child._stream = self._stream
+        child._threshold = self._threshold
+        child._epoch = self._epoch
+        child._fields = self._fields + tuple(fields.items())
+        return child
+
+    def named(self, name: str) -> "StructLogger":
+        child = self.bind()
+        child.name = f"{self.name}.{name}" if self.name else name
+        return child
+
+    def log(self, level: str, event: str, **fields) -> None:
+        if LEVELS.get(level, 0) < self._threshold:
+            return
+        elapsed = time.perf_counter() - self._epoch
+        parts = [f"+{elapsed:9.3f}s", f"{level:<7}", self.name, event]
+        for key, value in self._fields + tuple(fields.items()):
+            parts.append(f"{key}={value}")
+        self._stream.write(" ".join(parts) + "\n")
+
+    def debug(self, event: str, **fields) -> None:
+        self.log("debug", event, **fields)
+
+    def info(self, event: str, **fields) -> None:
+        self.log("info", event, **fields)
+
+    def warning(self, event: str, **fields) -> None:
+        self.log("warning", event, **fields)
+
+    def error(self, event: str, **fields) -> None:
+        self.log("error", event, **fields)
+
+
+class NullLogger(StructLogger):
+    """Logger that drops everything — the global default."""
+
+    __slots__ = ()
+
+    def __init__(self) -> None:
+        super().__init__("null", stream=sys.stderr, level="error")
+
+    def bind(self, **fields) -> "NullLogger":  # noqa: ARG002
+        return self
+
+    def named(self, name: str) -> "NullLogger":  # noqa: ARG002
+        return self
+
+    def log(self, level: str, event: str, **fields) -> None:  # noqa: ARG002
+        pass

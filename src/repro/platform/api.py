@@ -188,6 +188,7 @@ class RacketStoreApi:
                 "bytes_received": stats.bytes_received,
                 "records_inserted": stats.records_inserted,
                 "malformed_chunks": stats.malformed_chunks,
+                "malformed_records": stats.malformed_records,
                 "requests_by_country": dict(self.country_counts),
             },
         )

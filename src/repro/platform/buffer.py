@@ -16,6 +16,7 @@ import hashlib
 import json
 from dataclasses import dataclass
 
+from .. import obs
 from .models import record_to_dict
 
 __all__ = ["BufferedChunk", "DataBuffer", "chunk_hash"]
@@ -81,6 +82,12 @@ class DataBuffer:
         self._accumulating[kind] = []
         self._accumulated_bytes[kind] = 0
         self.chunks_sealed += 1
+        obs.counter("buffer_chunks_sealed_total", {"kind": kind}).inc()
+        obs.histogram(
+            "buffer_chunk_records",
+            {"kind": kind},
+            buckets=(1, 5, 10, 50, 100, 500, 1000, 5000),
+        ).observe(len(lines))
 
     def seal_all(self) -> None:
         """Force-seal both accumulation files (app shutdown / uninstall)."""
@@ -106,6 +113,7 @@ class DataBuffer:
                 chunk.attempts += 1
                 if chunk.attempts > 1:
                     self.retransmissions += 1
+                    obs.counter("buffer_retransmissions_total").inc()
                 ack = transport.send(chunk.kind, chunk.data)
                 if ack == chunk.sha256:
                     delivered = True
@@ -116,4 +124,7 @@ class DataBuffer:
             else:
                 still_pending.append(chunk)
         self._pending = still_pending
+        obs.counter("buffer_records_delivered_total").inc(delivered_records)
+        if still_pending:
+            obs.counter("buffer_flushes_incomplete_total").inc()
         return delivered_records

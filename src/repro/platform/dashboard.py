@@ -54,6 +54,7 @@ class Dashboard:
 
     def __init__(self, server: RacketStoreServer) -> None:
         self._server = server
+        self._healths: list[InstallHealth] | None = None
 
     # -- monitoring --------------------------------------------------------
     def install_health(self, install_id: str) -> InstallHealth | None:
@@ -96,13 +97,30 @@ class Dashboard:
             largest_gap_hours=largest_gap / 3600.0,
         )
 
+    def fleet_health(self, refresh: bool = False) -> list[InstallHealth]:
+        """Per-install health for the whole fleet, computed once.
+
+        ``install_health`` re-sorts every install's fast/slow runs, so
+        recomputing it per caller made ``overview`` + ``lagging_installs``
+        O(N²) over installs; both now share this cached list.  Pass
+        ``refresh=True`` after more chunks arrive.
+        """
+        if refresh or self._healths is None:
+            self._healths = [
+                h
+                for install_id in self._server.install_ids()
+                if (h := self.install_health(install_id)) is not None
+            ]
+        return self._healths
+
     def overview(self) -> dict[str, float]:
-        """Fleet-level numbers: the dashboard's landing page."""
-        healths = [
-            h
-            for install_id in self._server.install_ids()
-            if (h := self.install_health(install_id)) is not None
-        ]
+        """Fleet-level numbers: the dashboard's landing page.
+
+        Ingest counters come straight from the server's metrics registry
+        (via its :class:`~repro.platform.server.IngestStats` view) rather
+        than being recomputed from stored documents.
+        """
+        healths = self.fleet_health()
         stats = self._server.stats
         healthy = sum(1 for h in healths if h.healthy)
         return {
@@ -113,6 +131,7 @@ class Dashboard:
             "chunks_received": float(stats.chunks_received),
             "bytes_received": float(stats.bytes_received),
             "malformed_chunks": float(stats.malformed_chunks),
+            "malformed_records": float(stats.malformed_records),
             "records_inserted": float(stats.records_inserted),
         }
 
@@ -120,9 +139,8 @@ class Dashboard:
         """Installs below the reporting-health threshold."""
         return [
             h
-            for install_id in self._server.install_ids()
-            if (h := self.install_health(install_id)) is not None
-            and h.snapshots_per_day < min_snapshots_per_day
+            for h in self.fleet_health()
+            if h.snapshots_per_day < min_snapshots_per_day
         ]
 
     # -- validation --------------------------------------------------------

@@ -13,8 +13,11 @@ from __future__ import annotations
 import gzip
 import itertools
 import json
+import time
 from dataclasses import dataclass
 
+from .. import obs
+from ..obs.metrics import MetricsRegistry
 from ..simulation.clock import SECONDS_PER_DAY
 from .buffer import chunk_hash
 from .fingerprint import DeviceCluster, InstallFingerprint, coalesce_installs
@@ -31,12 +34,50 @@ _COLLECTIONS = {
 }
 
 
-@dataclass
 class IngestStats:
-    chunks_received: int = 0
-    bytes_received: int = 0
-    records_inserted: int = 0
-    malformed_chunks: int = 0
+    """Read-only view of the server's ingest counters.
+
+    Historically a plain dataclass of ints; now every count lives in a
+    :class:`~repro.obs.MetricsRegistry` (the process-wide one when
+    ``obs.configure()`` has run, a private real registry otherwise) and
+    this view reads it back, so the dashboard, the HTTP stats route and
+    a Prometheus scrape all see the same numbers.
+
+    ``malformed_chunks`` counts transport-level corruption (bad gzip /
+    undecodable bytes); ``malformed_records`` counts schema drift (a
+    JSON line that fails validation).  ``malformed_total`` preserves the
+    pre-split semantics, which lumped both into one counter.
+    """
+
+    __slots__ = ("_registry",)
+
+    def __init__(self, registry: MetricsRegistry) -> None:
+        self._registry = registry
+
+    @property
+    def chunks_received(self) -> int:
+        return int(self._registry.value("ingest_chunks_received_total"))
+
+    @property
+    def bytes_received(self) -> int:
+        return int(self._registry.value("ingest_bytes_received_total"))
+
+    @property
+    def records_inserted(self) -> int:
+        return int(self._registry.value("ingest_records_inserted_total"))
+
+    @property
+    def malformed_chunks(self) -> int:
+        return int(self._registry.value("ingest_malformed_chunks_total"))
+
+    @property
+    def malformed_records(self) -> int:
+        return int(self._registry.value("ingest_malformed_records_total"))
+
+    @property
+    def malformed_total(self) -> int:
+        """Backwards-compatible pre-split count (chunks + records)."""
+        return self.malformed_chunks + self.malformed_records
 
 
 @dataclass
@@ -54,10 +95,41 @@ class PaymentLedger:
 class RacketStoreServer:
     """The backend the mobile apps report to."""
 
-    def __init__(self, store: DocumentStore | None = None, review_crawler=None) -> None:
+    def __init__(
+        self,
+        store: DocumentStore | None = None,
+        review_crawler=None,
+        registry: MetricsRegistry | None = None,
+    ) -> None:
         self.store = store or DocumentStore()
         self.review_crawler = review_crawler
-        self.stats = IngestStats()
+        # Attach to the process-wide registry when observability is on so
+        # exports see ingest counters; otherwise keep a private real
+        # registry so ``stats`` always counts (tests rely on it).
+        if registry is None:
+            registry = obs.registry() if obs.metrics_enabled() else MetricsRegistry()
+        self.metrics = registry
+        self.stats = IngestStats(registry)
+        self._c_chunks = registry.counter(
+            "ingest_chunks_received_total", help="compressed chunks received"
+        )
+        self._c_bytes = registry.counter(
+            "ingest_bytes_received_total", help="compressed bytes received"
+        )
+        self._c_records = registry.counter(
+            "ingest_records_inserted_total", help="snapshot records stored"
+        )
+        self._c_malformed_chunks = registry.counter(
+            "ingest_malformed_chunks_total",
+            help="chunks dropped for transport corruption (bad gzip/encoding)",
+        )
+        self._c_malformed_records = registry.counter(
+            "ingest_malformed_records_total",
+            help="record lines dropped for schema drift (bad JSON/shape)",
+        )
+        self._h_latency = registry.histogram(
+            "ingest_chunk_seconds", help="receive_chunk wall time"
+        )
         self.payments = PaymentLedger()
         self._participants: set[str] = set()
         self._participant_counter = itertools.count(100_000)
@@ -97,30 +169,38 @@ class RacketStoreServer:
     def receive_chunk(self, kind: str, data: bytes) -> str:
         """Ingest one compressed chunk; the returned SHA-256 is the
         delivery acknowledgement the mobile app validates against."""
+        started = time.perf_counter()
         ack = chunk_hash(data)
-        self.stats.chunks_received += 1
-        self.stats.bytes_received += len(data)
-        try:
-            lines = gzip.decompress(data).decode().splitlines()
-        except (OSError, UnicodeDecodeError):
-            self.stats.malformed_chunks += 1
-            return ack
-        for line in lines:
-            if not line.strip():
-                continue
+        self._c_chunks.inc()
+        self._c_bytes.inc(len(data))
+        with obs.trace("ingest.chunk"):
             try:
-                payload = json.loads(line)
-                record = record_from_dict(payload)
-            except (ValueError, TypeError):
-                self.stats.malformed_chunks += 1
-                continue
-            self._insert_record(payload["_type"], payload, record)
+                lines = gzip.decompress(data).decode().splitlines()
+            except (OSError, UnicodeDecodeError):
+                self._c_malformed_chunks.inc()
+                obs.get_logger("ingest").warning(
+                    "malformed_chunk", kind=kind, bytes=len(data)
+                )
+                self._h_latency.observe(time.perf_counter() - started)
+                return ack
+            for line in lines:
+                if not line.strip():
+                    continue
+                try:
+                    payload = json.loads(line)
+                    record = record_from_dict(payload)
+                except (ValueError, TypeError):
+                    self._c_malformed_records.inc()
+                    obs.get_logger("ingest").warning("malformed_record", kind=kind)
+                    continue
+                self._insert_record(payload["_type"], payload, record)
+        self._h_latency.observe(time.perf_counter() - started)
         return ack
 
     def _insert_record(self, type_name: str, payload: dict, record) -> None:
         collection = self.store[_COLLECTIONS[type_name]]
         collection.insert(payload)
-        self.stats.records_inserted += 1
+        self._c_records.inc()
         if self.review_crawler is None:
             return
         # Backend: follow every app seen on a participant device (§5).

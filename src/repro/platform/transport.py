@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from .. import obs
 from .buffer import chunk_hash
 
 __all__ = ["Transport", "LossyTransport"]
@@ -31,6 +32,8 @@ class Transport:
     def send(self, kind: str, data: bytes) -> str | None:
         self.chunks_sent += 1
         self.bytes_sent += len(data)
+        obs.counter("transport_chunks_sent_total", {"kind": kind}).inc()
+        obs.counter("transport_bytes_sent_total").inc(len(data))
         return self._receiver.receive_chunk(kind, data)
 
 
@@ -58,11 +61,15 @@ class LossyTransport(Transport):
     def send(self, kind: str, data: bytes) -> str | None:
         self.chunks_sent += 1
         self.bytes_sent += len(data)
+        obs.counter("transport_chunks_sent_total", {"kind": kind}).inc()
+        obs.counter("transport_bytes_sent_total").inc(len(data))
         if self._rng.random() < self.loss_probability:
             self.chunks_lost += 1
+            obs.counter("transport_chunks_lost_total").inc()
             return None  # chunk vanished in transit: no ack
         if self._rng.random() < self.corruption_probability:
             self.chunks_corrupted += 1
+            obs.counter("transport_chunks_corrupted_total").inc()
             corrupted = bytes([data[0] ^ 0xFF]) + data[1:]
             # Server stores nothing (decompression fails) but echoes the
             # hash of what it received, which will not match the sender's.

@@ -14,6 +14,8 @@ import itertools
 from bisect import insort
 from dataclasses import dataclass, field
 
+from .. import obs
+
 __all__ = ["Review", "ReviewStore", "ReviewCrawler", "CrawlStats"]
 
 
@@ -135,6 +137,7 @@ class ReviewCrawler:
         if app_package not in self._tracked:
             self._tracked.add(app_package)
             self.stats.apps_crawled += 1
+            obs.counter("crawl_apps_tracked_total").inc()
 
     def tracked_apps(self) -> set[str]:
         return set(self._tracked)
@@ -165,9 +168,15 @@ class ReviewCrawler:
     def crawl_round(self) -> int:
         """One 12-hour crawl cycle over every tracked app."""
         total = 0
-        for app_package in sorted(self._tracked):
-            total += len(self.crawl_app(app_package))
+        with obs.trace("crawl.round"):
+            for app_package in sorted(self._tracked):
+                total += len(self.crawl_app(app_package))
         self.stats.crawl_rounds += 1
+        obs.counter("crawl_rounds_total").inc()
+        obs.counter("crawl_reviews_collected_total").inc(total)
+        obs.get_logger("crawl").debug(
+            "crawl_round", apps=len(self._tracked), reviews=total
+        )
         return total
 
     def collected(self, app_package: str) -> list[Review]:

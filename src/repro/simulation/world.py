@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from .. import obs
 from ..platform.mobile_app import RacketStoreApp
 from ..platform.server import RacketStoreServer
 from ..platform.store import DocumentStore
@@ -223,9 +224,64 @@ def run_study(config: SimulationConfig | None = None) -> StudyData:
     Returns the populated :class:`StudyData`.
     """
     config = config or SimulationConfig()
-    data, engine, factory, rng = build_world(config)
+    with obs.trace("simulate"):
+        data = _run_study_traced(config)
+    obs.get_logger("simulate").info(
+        "study_complete",
+        participants=len(data.participants),
+        records=data.server.stats.records_inserted,
+        reviews=data.review_crawler.collected_total(),
+    )
+    return data
 
-    # -- enrollment ------------------------------------------------------
+
+def _run_study_traced(config: SimulationConfig) -> StudyData:
+    with obs.trace("simulate.build_world"):
+        data, engine, factory, rng = build_world(config)
+
+    with obs.trace("simulate.enroll"):
+        _enroll_cohort(data, engine, factory, rng)
+
+    # -- study days ------------------------------------------------------
+    track_events = obs.metrics_enabled()
+    with obs.trace("simulate.days"):
+        for day in range(config.study_days):
+            day_start = day * SECONDS_PER_DAY
+            with obs.trace("simulate.day"):
+                for participant in data.participants:
+                    if not participant.active_on(day):
+                        continue
+                    if participant.app.install_id is None:
+                        participant.app.sign_in(timestamp=day_start)
+                    events_before = len(participant.device.events)
+                    engine.simulate_day(participant.device, participant.persona, day_start)
+                    participant.app.collect_day(day_start)
+                    if track_events:
+                        obs.counter(
+                            "sim_events_total",
+                            {"persona": participant.persona.kind},
+                            help="device events generated per persona",
+                        ).inc(len(participant.device.events) - events_before)
+                        obs.counter("sim_device_days_total").inc()
+                    if day == participant.enrolled_day + participant.active_days - 1:
+                        participant.app.uninstall(day_start + SECONDS_PER_DAY)
+                # §5: the review crawler runs every 12 hours.
+                data.review_crawler.crawl_round()
+                data.review_crawler.crawl_round()
+            if track_events:
+                obs.counter("sim_days_total").inc()
+
+    return data
+
+
+def _enroll_cohort(
+    data: StudyData,
+    engine: BehaviorEngine,
+    factory: AccountFactory,
+    rng: np.random.Generator,
+) -> None:
+    """Enroll workers, regulars, dropouts, and Appendix-A repeat installs."""
+    config = data.config
     n_organic = int(round(config.n_worker_devices * config.organic_worker_fraction))
     # Organic workers span a wide intensity range — from novices hiding a
     # trickle of ASO work to heavy moonlighters (§8.2's Fig 15 continuum).
@@ -290,21 +346,3 @@ def run_study(config: SimulationConfig | None = None) -> StudyData:
             enrolled_day=original.enrolled_day + original.active_days + 1,
             device=original.device,
         )
-
-    # -- study days ------------------------------------------------------
-    for day in range(config.study_days):
-        day_start = day * SECONDS_PER_DAY
-        for participant in data.participants:
-            if not participant.active_on(day):
-                continue
-            if participant.app.install_id is None:
-                participant.app.sign_in(timestamp=day_start)
-            engine.simulate_day(participant.device, participant.persona, day_start)
-            participant.app.collect_day(day_start)
-            if day == participant.enrolled_day + participant.active_days - 1:
-                participant.app.uninstall(day_start + SECONDS_PER_DAY)
-        # §5: the review crawler runs every 12 hours.
-        data.review_crawler.crawl_round()
-        data.review_crawler.crawl_round()
-
-    return data

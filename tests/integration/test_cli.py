@@ -39,6 +39,19 @@ class TestCommands:
 
     def test_unknown_experiment_fails(self, capsys):
         assert main(["--scale", "small", "experiment", "fig99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_handler_keyerror_propagates(self, monkeypatch):
+        """A KeyError raised *inside* a command handler is a real bug and
+        must not be misreported as an unknown command (exit code 2)."""
+        import repro.cli as cli
+
+        def boom(args):
+            raise KeyError("missing-internal-key")
+
+        monkeypatch.setitem(cli._COMMANDS, "simulate", boom)
+        with pytest.raises(KeyError, match="missing-internal-key"):
+            main(["--scale", "small", "simulate"])
 
     def test_dashboard(self, capsys):
         assert main(["--scale", "small", "dashboard"]) == 0

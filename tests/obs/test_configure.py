@@ -1,0 +1,85 @@
+"""The global no-op default, configure()/reset(), and the logger."""
+
+import io
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs_state():
+    obs.reset()
+    yield
+    obs.reset()
+
+
+class TestGlobalState:
+    def test_disabled_by_default(self):
+        assert not obs.enabled()
+        assert isinstance(obs.registry(), obs.NullRegistry)
+        assert isinstance(obs.tracer(), obs.NullTracer)
+
+    def test_noop_instrumentation_costs_nothing_observable(self):
+        obs.counter("x").inc()
+        with obs.trace("span"):
+            obs.histogram("h").observe(1.0)
+        obs.get_logger("test").info("event", k=1)
+        assert obs.registry().to_json()["counters"] == {}
+        assert obs.tracer().root.children == {}
+
+    def test_configure_swaps_in_live_implementations(self):
+        obs.configure()
+        assert obs.metrics_enabled() and obs.tracing_enabled()
+        obs.counter("x").inc(2)
+        with obs.trace("span"):
+            pass
+        assert obs.registry().value("x") == 2.0
+        assert obs.tracer().find("span") is not None
+
+    def test_reset_restores_noop(self):
+        obs.configure()
+        obs.counter("x").inc()
+        obs.reset()
+        assert not obs.enabled()
+        assert obs.registry().value("x") == 0.0
+
+    def test_configure_accepts_external_registry(self):
+        mine = obs.MetricsRegistry()
+        returned = obs.configure(registry=mine)
+        assert returned is mine
+        obs.counter("x").inc()
+        assert mine.value("x") == 1.0
+
+
+class TestStructLogger:
+    def test_writes_key_value_lines(self):
+        stream = io.StringIO()
+        obs.configure(metrics=False, tracing=False, log_stream=stream)
+        obs.get_logger("ingest").warning("malformed_chunk", kind="fast", bytes=17)
+        line = stream.getvalue()
+        assert "warning" in line
+        assert "repro.ingest" in line
+        assert "malformed_chunk" in line
+        assert "kind=fast" in line and "bytes=17" in line
+
+    def test_level_threshold_filters(self):
+        stream = io.StringIO()
+        obs.configure(metrics=False, tracing=False, log_stream=stream,
+                      log_level="warning")
+        obs.get_logger().info("quiet")
+        obs.get_logger().error("loud")
+        out = stream.getvalue()
+        assert "quiet" not in out and "loud" in out
+
+    def test_bind_stamps_fields(self):
+        stream = io.StringIO()
+        obs.configure(metrics=False, tracing=False, log_stream=stream)
+        logger = obs.get_logger("x").bind(install_id="123")
+        logger.info("event")
+        assert "install_id=123" in stream.getvalue()
+
+    def test_null_logger_by_default(self):
+        logger = obs.get_logger("whatever")
+        logger.info("dropped")  # must not raise or write anywhere
+        assert isinstance(logger, obs.NullLogger)

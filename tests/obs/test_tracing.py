@@ -1,0 +1,111 @@
+"""Span nesting, aggregation, and report rendering."""
+
+from repro.obs.tracing import NullTracer, Tracer
+
+
+class TestSpanAggregation:
+    def test_nested_spans_build_a_tree(self):
+        tracer = Tracer()
+        with tracer.trace("outer"):
+            with tracer.trace("inner"):
+                pass
+            with tracer.trace("inner"):
+                pass
+        outer = tracer.root.children["outer"]
+        assert outer.calls == 1
+        inner = outer.children["inner"]
+        assert inner.calls == 2
+        assert outer.total_seconds >= inner.total_seconds
+
+    def test_same_name_under_different_parents_stays_separate(self):
+        tracer = Tracer()
+        with tracer.trace("a"):
+            with tracer.trace("work"):
+                pass
+        with tracer.trace("b"):
+            with tracer.trace("work"):
+                pass
+        assert "work" in tracer.root.children["a"].children
+        assert "work" in tracer.root.children["b"].children
+        paths = [path for path, _ in tracer.spans()]
+        assert "a/work" in paths and "b/work" in paths
+
+    def test_exception_still_closes_span(self):
+        tracer = Tracer()
+        try:
+            with tracer.trace("boom"):
+                raise RuntimeError("x")
+        except RuntimeError:
+            pass
+        assert tracer.root.children["boom"].calls == 1
+        # The stack unwound: a new top-level span is a root child.
+        with tracer.trace("after"):
+            pass
+        assert "after" in tracer.root.children
+
+    def test_self_seconds_excludes_children(self):
+        tracer = Tracer()
+        with tracer.trace("parent"):
+            with tracer.trace("child"):
+                pass
+        parent = tracer.root.children["parent"]
+        assert parent.self_seconds <= parent.total_seconds
+
+    def test_find_and_top_slowest(self):
+        tracer = Tracer()
+        with tracer.trace("simulate"):
+            with tracer.trace("ingest.chunk"):
+                pass
+        assert tracer.find("ingest.chunk") is not None
+        assert tracer.find("nope") is None
+        slowest = tracer.top_slowest(1)
+        assert len(slowest) == 1
+
+    def test_reset(self):
+        tracer = Tracer()
+        with tracer.trace("x"):
+            pass
+        tracer.reset()
+        assert tracer.root.children == {}
+
+
+class TestRendering:
+    def test_render_contains_names_and_counts(self):
+        tracer = Tracer()
+        with tracer.trace("simulate"):
+            for _ in range(3):
+                with tracer.trace("day"):
+                    pass
+        text = tracer.render()
+        assert "simulate" in text
+        assert "  day" in text  # indented child
+        lines = [l for l in text.splitlines() if "day" in l]
+        assert "3" in lines[0].split()
+
+    def test_render_slowest(self):
+        tracer = Tracer()
+        with tracer.trace("a"):
+            with tracer.trace("b"):
+                pass
+        text = tracer.render_slowest(5)
+        assert "a/b" in text
+
+    def test_to_json(self):
+        tracer = Tracer()
+        with tracer.trace("a"):
+            with tracer.trace("b"):
+                pass
+        doc = tracer.to_json()
+        assert doc["spans"][0]["name"] == "a"
+        assert doc["spans"][0]["children"][0]["name"] == "b"
+        assert doc["spans"][0]["calls"] == 1
+
+
+class TestNullTracer:
+    def test_records_nothing(self):
+        tracer = NullTracer()
+        with tracer.trace("x"):
+            with tracer.trace("y"):
+                pass
+        assert tracer.root.children == {}
+        assert tracer.render_slowest(3).count("\n") == 0

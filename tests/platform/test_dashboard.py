@@ -37,6 +37,36 @@ class TestMonitoring:
     def test_unknown_install_returns_none(self, dashboard):
         assert dashboard.install_health("0000000000") is None
 
+    def test_fleet_health_computed_once_and_shared(self, study):
+        dashboard = Dashboard(study.server)
+        calls = {"n": 0}
+        original = Dashboard.install_health
+
+        def counting(self, install_id):
+            calls["n"] += 1
+            return original(self, install_id)
+
+        Dashboard.install_health = counting
+        try:
+            dashboard.overview()
+            dashboard.lagging_installs()
+            dashboard.overview()
+        finally:
+            Dashboard.install_health = original
+        # One pass over the fleet serves every monitoring caller.
+        assert calls["n"] == len(study.server.install_ids())
+
+    def test_fleet_health_refresh(self, study):
+        dashboard = Dashboard(study.server)
+        first = dashboard.fleet_health()
+        assert dashboard.fleet_health() is first
+        assert dashboard.fleet_health(refresh=True) is not first
+
+    def test_overview_reports_malformed_split(self, dashboard):
+        overview = dashboard.overview()
+        assert "malformed_chunks" in overview
+        assert "malformed_records" in overview
+
     def test_permission_reporting_flags(self, study, dashboard):
         accounts_reported = usage_reported = 0
         for install_id in study.server.install_ids():
