@@ -12,6 +12,8 @@ Commands
 ``export-figures``  write the raw series behind each figure as CSV
 ``profile``     run a full study + report with tracing on; print the
                 span-tree timing report and the top-N slowest spans
+``lint``        run the repro.statan static analyzer (determinism &
+                invariants rules) over the source tree
 
 ``simulate``/``report``/``train``/``profile`` accept ``--metrics-out
 FILE`` to enable the metrics registry and archive its JSON export.
@@ -31,6 +33,7 @@ from .experiments import EXPERIMENTS, Workbench, run_experiment
 from .platform.dashboard import Dashboard
 from .reporting import render_table
 from .simulation import SimulationConfig, run_study
+from .statan.cli import add_lint_arguments, run_lint
 
 __all__ = ["main", "build_parser"]
 
@@ -108,6 +111,11 @@ def build_parser() -> argparse.ArgumentParser:
         "write-experiments", help="regenerate EXPERIMENTS.md from a fresh run"
     )
     write_exp.add_argument("--out", default="EXPERIMENTS.md", help="output path")
+
+    lint = sub.add_parser(
+        "lint", help="run the statan determinism/invariants linter"
+    )
+    add_lint_arguments(lint)
     return parser
 
 
@@ -294,6 +302,7 @@ def _cmd_export_figures(args) -> int:
 
 
 _COMMANDS = {
+    "lint": run_lint,
     "simulate": _cmd_simulate,
     "experiment": _cmd_experiment,
     "report": _cmd_report,

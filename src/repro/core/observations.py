@@ -337,7 +337,9 @@ def build_observations(
         # registered on participant devices" dataset).
         per_app: dict[str, list[Review]] = defaultdict(list)
         all_reviews: list[Review] = []
-        for google_id in ids:
+        # Sorted: per_app's key insertion order (hence device_reviews'
+        # key order) must not depend on per-process set/hash ordering.
+        for google_id in sorted(ids):
             for review in data.review_store.reviews_by_google_id(google_id):
                 per_app[review.app_package].append(review)
                 all_reviews.append(review)

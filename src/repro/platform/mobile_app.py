@@ -186,7 +186,10 @@ class RacketStoreApp:
             duration = idle_budget / n_windows
             start = float(self._rng.uniform(day_start, max(day_start, day_end - duration)))
             windows.append((start, min(start + duration, day_end), None))
-        windows.sort(key=lambda w: w[0])
+        # Full-tuple key: ties on start must not fall back to list
+        # construction order, or a future refactor that builds windows
+        # from an unordered source would silently reorder snapshots.
+        windows.sort(key=lambda w: (w[0], w[1], w[2] or ""))
         return windows
 
     def _emit_fast_runs(self, windows, day_start: float, day_end: float) -> None:

@@ -38,14 +38,20 @@ class Transport:
 
 
 class LossyTransport(Transport):
-    """Channel with configurable loss and corruption probabilities."""
+    """Channel with configurable loss and corruption probabilities.
+
+    The Generator is required (keyword-only): a hidden fallback RNG
+    would correlate every channel constructed without one and break
+    the seeded-run byte-identity guarantee (statan DET001).
+    """
 
     def __init__(
         self,
         receiver,
+        *,
+        rng: np.random.Generator,
         loss_probability: float = 0.0,
         corruption_probability: float = 0.0,
-        rng: np.random.Generator | None = None,
     ) -> None:
         super().__init__(receiver)
         if not 0.0 <= loss_probability <= 1.0:
@@ -54,7 +60,7 @@ class LossyTransport(Transport):
             raise ValueError("corruption_probability must be in [0, 1]")
         self.loss_probability = loss_probability
         self.corruption_probability = corruption_probability
-        self._rng = rng or np.random.default_rng(0)
+        self._rng = rng
         self.chunks_lost = 0
         self.chunks_corrupted = 0
 

@@ -1,0 +1,48 @@
+"""repro.statan — AST-based determinism & invariants linter.
+
+A dependency-free static analyzer guarding the invariants that make
+seeded simulator runs byte-identical:
+
+* **DET001** — unseeded / global / hidden-fallback randomness;
+* **DET002** — wall-clock reads bypassing the virtual clock;
+* **DET003** — iteration order taken from sets or filesystem listings;
+* **BUG001** — mutable default arguments;
+* **ML001**  — float equality comparisons in numeric code;
+* **OBS001** — ``obs.configure()`` without ``obs.reset()``.
+
+Run it as ``python -m repro lint [--format json]``.  Inline
+suppressions use ``# statan: disable=RULE`` (same line) or
+``# statan: disable-file=RULE``; pre-existing findings live in the
+committed ``statan-baseline.json`` and only *new* findings fail the
+gate.  See README "Static analysis" for the workflow.
+"""
+
+from __future__ import annotations
+
+from . import checks  # noqa: F401  (registers the rule set on import)
+from .baseline import Baseline, load_baseline, partition, save_baseline
+from .engine import analyze_paths, analyze_source, collect_suppressions
+from .findings import SEVERITY_ERROR, SEVERITY_WARNING, Finding
+from .reporters import LintResult, render_json, render_text
+from .rules import Rule, all_rules, get_rule, register, rule_ids
+
+__all__ = [
+    "Finding",
+    "SEVERITY_ERROR",
+    "SEVERITY_WARNING",
+    "Rule",
+    "register",
+    "all_rules",
+    "rule_ids",
+    "get_rule",
+    "analyze_source",
+    "analyze_paths",
+    "collect_suppressions",
+    "Baseline",
+    "load_baseline",
+    "save_baseline",
+    "partition",
+    "LintResult",
+    "render_text",
+    "render_json",
+]

@@ -1,0 +1,77 @@
+"""Committed-baseline support: grandfather existing findings.
+
+The baseline file is a JSON document listing the fingerprints of
+accepted findings (plus human-readable context).  ``lint`` fails only
+on findings *not* in the baseline; ``lint --update-baseline`` rewrites
+the file from the current tree.  Entries whose finding no longer exists
+are reported as *stale* so the baseline shrinks over time instead of
+accreting.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from .findings import Finding
+
+__all__ = ["Baseline", "load_baseline", "save_baseline", "partition"]
+
+_VERSION = 1
+
+
+@dataclass
+class Baseline:
+    """The set of grandfathered findings."""
+
+    path: str = ""
+    entries: list[dict] = field(default_factory=list)
+
+    @property
+    def fingerprints(self) -> set[str]:
+        return {entry["fingerprint"] for entry in self.entries}
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+
+def load_baseline(path: str | Path) -> Baseline:
+    """Load a baseline; a missing file is an empty baseline."""
+    file = Path(path)
+    if not file.exists():
+        return Baseline(path=str(path))
+    payload = json.loads(file.read_text(encoding="utf-8"))
+    if payload.get("version") != _VERSION:
+        raise ValueError(
+            f"unsupported baseline version {payload.get('version')!r} in {path}"
+        )
+    return Baseline(path=str(path), entries=list(payload.get("findings", [])))
+
+
+def save_baseline(path: str | Path, findings: list[Finding]) -> None:
+    entries = [
+        {
+            "fingerprint": f.fingerprint,
+            "rule": f.rule,
+            "path": f.path,
+            "snippet": f.snippet,
+        }
+        for f in sorted(findings, key=Finding.sort_key)
+    ]
+    entries.sort(key=lambda e: (e["path"], e["rule"], e["snippet"], e["fingerprint"]))
+    payload = {"version": _VERSION, "findings": entries}
+    Path(path).write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+
+def partition(
+    findings: list[Finding], baseline: Baseline
+) -> tuple[list[Finding], list[Finding], list[dict]]:
+    """Split findings into (new, baselined); also return stale baseline
+    entries whose finding no longer occurs in the tree."""
+    known = baseline.fingerprints
+    new = [f for f in findings if f.fingerprint not in known]
+    grandfathered = [f for f in findings if f.fingerprint in known]
+    present = {f.fingerprint for f in findings}
+    stale = [e for e in baseline.entries if e["fingerprint"] not in present]
+    return new, grandfathered, stale

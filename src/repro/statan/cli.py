@@ -1,0 +1,83 @@
+"""The ``python -m repro lint`` command implementation.
+
+Kept separate from :mod:`repro.cli` so the analyzer stays importable
+without the simulation stack (and vice versa).
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+from .baseline import load_baseline, partition, save_baseline
+from .engine import analyze_paths, iter_python_files
+from .reporters import LintResult, render_json, render_text
+from .rules import all_rules
+
+__all__ = ["run_lint", "add_lint_arguments"]
+
+DEFAULT_BASELINE = "statan-baseline.json"
+
+
+def add_lint_arguments(parser) -> None:
+    """Attach lint options to an argparse (sub)parser."""
+    parser.add_argument(
+        "paths", nargs="*", default=None,
+        help="files/directories to lint (default: ./src if present, else .)",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--baseline", default=DEFAULT_BASELINE, metavar="FILE",
+        help=f"baseline file of grandfathered findings (default: {DEFAULT_BASELINE})",
+    )
+    parser.add_argument(
+        "--update-baseline", action="store_true",
+        help="rewrite the baseline from the current findings and exit 0",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="list rule ids and exit"
+    )
+    parser.add_argument(
+        "--show-baselined", action="store_true",
+        help="also print baselined findings in the text report",
+    )
+
+
+def _default_paths() -> list[str]:
+    return ["src"] if Path("src").is_dir() else ["."]
+
+
+def run_lint(args) -> int:
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.id}  [{rule.severity}]  {rule.summary}")
+        return 0
+
+    paths = args.paths or _default_paths()
+    for path in paths:
+        if not Path(path).exists():
+            print(f"error: no such file or directory: {path}", file=sys.stderr)
+            return 2
+
+    findings = analyze_paths(paths)
+    files_checked = len(iter_python_files(paths))
+
+    if args.update_baseline:
+        save_baseline(args.baseline, findings)
+        print(
+            f"wrote {len(findings)} finding(s) to baseline {args.baseline}",
+            file=sys.stderr,
+        )
+        return 0
+
+    baseline = load_baseline(args.baseline)
+    new, grandfathered, stale = partition(findings, baseline)
+    result = LintResult(new, grandfathered, stale, files_checked)
+    if args.format == "json":
+        print(render_json(result))
+    else:
+        print(render_text(result, verbose_baseline=args.show_baselined))
+    return result.exit_code

@@ -1,0 +1,191 @@
+"""Analysis engine: parse modules, run rules, apply suppressions.
+
+The engine is purely syntactic — one ``ast.parse`` per file, an import
+alias table so rules can resolve ``np.random.default_rng`` through
+``import numpy as np``, and a comment scan for inline suppressions:
+
+* ``# statan: disable=RULE1,RULE2`` on the flagged line suppresses
+  those rules for that line only;
+* ``# statan: disable-file=RULE1`` anywhere in the file suppresses the
+  rules for the whole file;
+* the rule list may be ``ALL``.
+
+Findings come back fingerprinted (see :mod:`repro.statan.findings`) so
+the baseline layer can match them across line-number drift.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from pathlib import Path, PurePosixPath
+from typing import Iterable, Sequence
+
+from .findings import SEVERITY_ERROR, Finding, assign_fingerprints
+from .rules import Rule, all_rules
+
+__all__ = [
+    "ModuleContext",
+    "analyze_source",
+    "analyze_paths",
+    "iter_python_files",
+    "collect_suppressions",
+]
+
+#: Pseudo-rule id attached to files that fail to parse.
+SYNTAX_RULE = "SYNTAX"
+
+_DISABLE_RE = re.compile(
+    r"#\s*statan:\s*disable(?P<scope>-file)?\s*=\s*(?P<rules>[A-Za-z0-9_]+(?:\s*,\s*[A-Za-z0-9_]+)*)"
+)
+
+
+def collect_suppressions(source: str) -> tuple[dict[int, set[str]], set[str]]:
+    """Return (line -> suppressed rule ids, file-wide rule ids)."""
+    per_line: dict[int, set[str]] = {}
+    per_file: set[str] = set()
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _DISABLE_RE.search(line)
+        if not match:
+            continue
+        rules = {part.strip() for part in match.group("rules").split(",")}
+        if match.group("scope"):
+            per_file |= rules
+        else:
+            per_line.setdefault(lineno, set()).update(rules)
+    return per_line, per_file
+
+
+def _collect_imports(tree: ast.AST) -> dict[str, str]:
+    """Map local names to the dotted modules/objects they refer to.
+
+    Relative imports are normalised by dropping the leading dots, so
+    ``from .. import obs`` maps ``obs`` to ``obs`` and rules match on
+    dotted-name *tails*.
+    """
+    table: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.asname:
+                    table[alias.asname] = alias.name
+                else:
+                    # `import numpy.random` binds only the root name.
+                    root = alias.name.split(".")[0]
+                    table[root] = root
+        elif isinstance(node, ast.ImportFrom):
+            base = node.module or ""
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                dotted = f"{base}.{alias.name}" if base else alias.name
+                table[alias.asname or alias.name] = dotted
+    return table
+
+
+class ModuleContext:
+    """Everything a rule needs to analyse one module."""
+
+    def __init__(self, path: str, source: str, tree: ast.AST) -> None:
+        self.path = path
+        self.source = source
+        self.lines = source.splitlines()
+        self.tree = tree
+        self.segments = PurePosixPath(path).parts
+        self.imports = _collect_imports(tree)
+
+    # -- helpers rules lean on ------------------------------------------------
+    def snippet(self, lineno: int) -> str:
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1].strip()
+        return ""
+
+    def resolve(self, node: ast.AST) -> str | None:
+        """Dotted name of a Name/Attribute chain with aliases expanded,
+        or None when the chain roots in a local (unimported) name."""
+        if isinstance(node, ast.Name):
+            return self.imports.get(node.id)
+        if isinstance(node, ast.Attribute):
+            base = self.resolve(node.value)
+            if base is None:
+                return None
+            return f"{base}.{node.attr}"
+        return None
+
+    def in_package(self, names: Iterable[str]) -> bool:
+        wanted = set(names)
+        return any(segment in wanted for segment in self.segments)
+
+
+def matches_tail(resolved: str | None, tail: str) -> bool:
+    """True when ``resolved`` is ``tail`` or ends with ``.tail`` on a
+    segment boundary (``repro.obs.configure`` matches ``obs.configure``,
+    ``myobs.configure`` does not)."""
+    if resolved is None:
+        return False
+    return resolved == tail or resolved.endswith("." + tail)
+
+
+def analyze_source(
+    source: str,
+    path: str = "<snippet>",
+    rules: Sequence[Rule] | None = None,
+) -> list[Finding]:
+    """Analyse one module's source; returns fingerprinted findings with
+    suppressions already applied."""
+    # Rules register on import; defer to avoid a cycle at module load.
+    from . import checks  # noqa: F401
+
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:
+        finding = Finding(
+            rule=SYNTAX_RULE,
+            severity=SEVERITY_ERROR,
+            path=path,
+            line=exc.lineno or 1,
+            col=(exc.offset or 1) - 1,
+            message=f"file does not parse: {exc.msg}",
+        )
+        return assign_fingerprints([finding])
+
+    ctx = ModuleContext(path, source, tree)
+    per_line, per_file = collect_suppressions(source)
+    findings: list[Finding] = []
+    for rule in rules if rules is not None else all_rules():
+        for finding in rule.check(ctx):
+            if finding.rule in per_file or "ALL" in per_file:
+                continue
+            line_rules = per_line.get(finding.line, set())
+            if finding.rule in line_rules or "ALL" in line_rules:
+                continue
+            findings.append(finding)
+    return assign_fingerprints(findings)
+
+
+def iter_python_files(paths: Sequence[str | Path]) -> list[tuple[Path, str]]:
+    """Expand files/directories into (absolute file, relative label)
+    pairs.  Directory trees are walked in sorted order so reports and
+    fingerprints are independent of filesystem enumeration order."""
+    out: list[tuple[Path, str]] = []
+    for raw in paths:
+        root = Path(raw)
+        if root.is_dir():
+            for file in sorted(root.rglob("*.py")):
+                out.append((file, file.relative_to(root).as_posix()))
+        else:
+            out.append((root, root.name))
+    return out
+
+
+def analyze_paths(
+    paths: Sequence[str | Path],
+    rules: Sequence[Rule] | None = None,
+) -> list[Finding]:
+    """Analyse every ``*.py`` under ``paths``; findings are sorted by
+    (path, line, col, rule)."""
+    findings: list[Finding] = []
+    for file, label in iter_python_files(paths):
+        source = file.read_text(encoding="utf-8")
+        findings.extend(analyze_source(source, path=label, rules=rules))
+    return sorted(findings, key=Finding.sort_key)

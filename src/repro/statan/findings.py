@@ -1,0 +1,87 @@
+"""Finding model shared by the statan engine, reporters and baseline.
+
+A :class:`Finding` is one rule violation at one source location.  Its
+``fingerprint`` identifies the violation *independently of line
+numbers* — it hashes the rule id, the file path, the stripped source
+line and an occurrence ordinal — so a committed baseline survives
+unrelated edits above the grandfathered line.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, replace
+
+__all__ = [
+    "SEVERITY_ERROR",
+    "SEVERITY_WARNING",
+    "Finding",
+    "assign_fingerprints",
+]
+
+SEVERITY_ERROR = "error"
+SEVERITY_WARNING = "warning"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    severity: str
+    path: str       # POSIX-style path relative to the scan root
+    line: int       # 1-based
+    col: int        # 0-based, as reported by ast
+    message: str
+    snippet: str = ""       # stripped source line the finding anchors to
+    fingerprint: str = ""   # filled in by assign_fingerprints()
+
+    def sort_key(self) -> tuple:
+        return (self.path, self.line, self.col, self.rule)
+
+    def format_text(self) -> str:
+        location = f"{self.path}:{self.line}:{self.col + 1}"
+        return f"{location}: {self.rule} [{self.severity}] {self.message}"
+
+    def to_json(self) -> dict:
+        return {
+            "rule": self.rule,
+            "severity": self.severity,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "snippet": self.snippet,
+            "fingerprint": self.fingerprint,
+        }
+
+
+def _fingerprint(rule: str, path: str, snippet: str, ordinal: int) -> str:
+    payload = f"{rule}|{path}|{snippet}|{ordinal}".encode()
+    return hashlib.sha256(payload).hexdigest()[:16]
+
+
+def assign_fingerprints(findings: list[Finding]) -> list[Finding]:
+    """Return findings with stable fingerprints filled in.
+
+    Identical (rule, path, snippet) triples — e.g. the same guard
+    repeated in two methods of one file — are disambiguated by an
+    ordinal assigned in line order, so each occurrence baselines
+    independently.
+    """
+    ordered = sorted(findings, key=Finding.sort_key)
+    counts: dict[tuple[str, str, str], int] = {}
+    stamped = []
+    for finding in ordered:
+        key = (finding.rule, finding.path, finding.snippet)
+        ordinal = counts.get(key, 0)
+        counts[key] = ordinal + 1
+        stamped.append(
+            replace(
+                finding,
+                fingerprint=_fingerprint(
+                    finding.rule, finding.path, finding.snippet, ordinal
+                ),
+            )
+        )
+    return stamped

@@ -1,0 +1,78 @@
+"""Text and JSON reporters for lint results."""
+
+from __future__ import annotations
+
+import json
+
+from .findings import Finding
+
+__all__ = ["LintResult", "render_text", "render_json"]
+
+
+class LintResult:
+    """What one lint run produced, pre-split against the baseline."""
+
+    def __init__(
+        self,
+        new: list[Finding],
+        baselined: list[Finding],
+        stale: list[dict],
+        files_checked: int,
+    ) -> None:
+        self.new = new
+        self.baselined = baselined
+        self.stale = stale
+        self.files_checked = files_checked
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if self.new else 0
+
+
+def render_text(result: LintResult, verbose_baseline: bool = False) -> str:
+    lines: list[str] = []
+    for finding in result.new:
+        lines.append(finding.format_text())
+        if finding.snippet:
+            lines.append(f"    {finding.snippet}")
+    if verbose_baseline:
+        for finding in result.baselined:
+            lines.append(f"{finding.format_text()}  (baselined)")
+    if lines:
+        lines.append("")
+    counts: dict[str, int] = {}
+    for finding in result.new:
+        counts[finding.rule] = counts.get(finding.rule, 0) + 1
+    by_rule = ", ".join(f"{rule}: {n}" for rule, n in sorted(counts.items()))
+    summary = (
+        f"checked {result.files_checked} files: "
+        f"{len(result.new)} new finding(s)"
+        + (f" ({by_rule})" if by_rule else "")
+        + f", {len(result.baselined)} baselined"
+    )
+    if result.stale:
+        summary += f", {len(result.stale)} stale baseline entr(y/ies)"
+    lines.append(summary)
+    if result.stale:
+        lines.append("stale baseline entries (fixed findings — prune with --update-baseline):")
+        for entry in result.stale:
+            lines.append(f"    {entry['path']}: {entry['rule']}: {entry['snippet']}")
+    return "\n".join(lines)
+
+
+def render_json(result: LintResult) -> str:
+    payload = {
+        "version": 1,
+        "files_checked": result.files_checked,
+        "summary": {
+            "new": len(result.new),
+            "baselined": len(result.baselined),
+            "stale_baseline": len(result.stale),
+        },
+        "findings": (
+            [dict(f.to_json(), baselined=False) for f in result.new]
+            + [dict(f.to_json(), baselined=True) for f in result.baselined]
+        ),
+        "stale_baseline": result.stale,
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

@@ -1,0 +1,68 @@
+"""Rule base class and registry.
+
+Every rule is a singleton registered by id.  A rule receives the parsed
+:class:`~repro.statan.engine.ModuleContext` and yields findings; it
+never does I/O.  Severity is advisory (the gate fails on any
+non-baselined finding regardless), but reporters surface it so readers
+can triage errors before warnings.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable
+
+from .findings import SEVERITY_ERROR, Finding
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from .engine import ModuleContext
+
+__all__ = ["Rule", "register", "all_rules", "rule_ids", "get_rule"]
+
+
+class Rule:
+    """One statan check.  Subclasses set ``id``/``severity``/``summary``
+    and implement :meth:`check`."""
+
+    id: str = ""
+    severity: str = SEVERITY_ERROR
+    summary: str = ""
+
+    def check(self, ctx: "ModuleContext") -> Iterable[Finding]:
+        raise NotImplementedError
+
+    def finding(self, ctx: "ModuleContext", node, message: str) -> Finding:
+        return Finding(
+            rule=self.id,
+            severity=self.severity,
+            path=ctx.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            message=message,
+            snippet=ctx.snippet(getattr(node, "lineno", 1)),
+        )
+
+
+_REGISTRY: dict[str, Rule] = {}
+
+
+def register(cls: type[Rule]) -> type[Rule]:
+    """Class decorator adding one instance of ``cls`` to the registry."""
+    rule = cls()
+    if not rule.id:
+        raise ValueError(f"rule {cls.__name__} has no id")
+    if rule.id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {rule.id}")
+    _REGISTRY[rule.id] = rule
+    return cls
+
+
+def all_rules() -> list[Rule]:
+    return [_REGISTRY[rule_id] for rule_id in sorted(_REGISTRY)]
+
+
+def rule_ids() -> list[str]:
+    return sorted(_REGISTRY)
+
+
+def get_rule(rule_id: str) -> Rule:
+    return _REGISTRY[rule_id]

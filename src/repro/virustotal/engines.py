@@ -71,8 +71,7 @@ class ScanResult:
 class EnginePanel:
     """The 62-engine scanning panel."""
 
-    def __init__(self, rng: np.random.Generator | None = None) -> None:
-        rng = rng or np.random.default_rng(2021)
+    def __init__(self, rng: np.random.Generator) -> None:
         self.engines: list[Engine] = []
         for i in range(N_ENGINES):
             stem = _VENDOR_STEMS[i % len(_VENDOR_STEMS)]
