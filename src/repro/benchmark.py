@@ -1,0 +1,225 @@
+"""``python -m repro bench`` — parallel speedup + determinism benchmark.
+
+Times Table 1/Table 2-style workloads (repeated stratified CV over the
+paper's algorithm suite, a per-tree-parallel forest fit, and the KNN
+all-pairs predict) at ``n_jobs = 1`` versus ``n_jobs = max``, asserts
+that serial and parallel runs produce byte-identical outputs (the
+DESIGN.md §8 contract), and writes the measurements to ``BENCH_ml.json``.
+
+``--smoke`` shrinks the workload to CI size and defaults to two workers;
+it is the regression gate that the executor still honours the
+determinism contract on every push.  Speedups are recorded, not
+asserted: single-core runners legitimately measure ~1x.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+
+import numpy as np
+
+from . import obs
+from .ml import (
+    GradientBoostingClassifier,
+    KNeighborsClassifier,
+    LogisticRegression,
+    LVQClassifier,
+    RandomForestClassifier,
+    cross_validate,
+)
+from .ml.base import check_array
+from .parallel import resolve_n_jobs, spawn_seeds
+
+__all__ = ["run_bench", "make_bench_dataset"]
+
+
+def _machine_info() -> dict:
+    return {
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count() or 1,
+        "numpy": np.__version__,
+    }
+
+
+def make_bench_dataset(
+    n_samples: int, n_features: int, root_seed: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Synthetic two-class task shaped like the app/device feature
+    matrices (a few informative dimensions, the rest noise).
+
+    Seeds are spawned from ``root_seed`` via ``SeedSequence`` — a fresh
+    stream, independent of every existing consumer.
+    """
+    data_seed, label_seed = spawn_seeds(root_seed, 2)
+    rng = np.random.default_rng(data_seed)
+    y = (np.arange(n_samples) % 3 == 0).astype(np.int64)  # ~1:2 imbalance
+    y = np.random.default_rng(label_seed).permutation(y)
+    X = rng.normal(size=(n_samples, n_features))
+    informative = max(2, n_features // 4)
+    X[:, :informative] += 1.5 * y[:, None]
+    return X, y
+
+
+def _cv_suite(smoke: bool, random_state: int) -> dict[str, object]:
+    """Table 1/2-style algorithm suite (trimmed in smoke mode)."""
+    if smoke:
+        return {
+            "RF": RandomForestClassifier(n_estimators=24, random_state=random_state),
+            "KNN": KNeighborsClassifier(n_neighbors=5),
+            "LR": LogisticRegression(C=1.0),
+        }
+    return {
+        "XGB": GradientBoostingClassifier(
+            n_estimators=60, max_depth=3, learning_rate=0.15, random_state=random_state
+        ),
+        "RF": RandomForestClassifier(n_estimators=120, random_state=random_state),
+        "LR": LogisticRegression(C=1.0),
+        "KNN": KNeighborsClassifier(n_neighbors=5),
+        "LVQ": LVQClassifier(prototypes_per_class=5, epochs=25, random_state=random_state),
+    }
+
+
+def _timed(fn, *args, **kwargs) -> tuple[object, float]:
+    with obs.timer() as timed:
+        result = fn(*args, **kwargs)
+    return result, timed.elapsed
+
+
+def _speedup(serial: float, parallel: float) -> float:
+    return round(serial / parallel, 3) if parallel > 0 else 0.0
+
+
+def _reference_knn_votes(model: KNeighborsClassifier, X: np.ndarray) -> np.ndarray:
+    """The pre-vectorisation per-row vote loop, kept as the before/after
+    baseline for the KNN benchmark and its equality check."""
+    Z = (check_array(X) - model._mu) / model._sigma
+    k = min(model.n_neighbors, model._train.shape[0])
+    votes = np.zeros((Z.shape[0], len(model.classes_)), dtype=np.float64)
+    chunk = max(1, 2_000_000 // max(1, model._train.shape[0]))
+    for start in range(0, Z.shape[0], chunk):
+        block = Z[start : start + chunk]
+        d2 = (
+            np.sum(block**2, axis=1)[:, None]
+            - 2.0 * block @ model._train.T
+            + np.sum(model._train**2, axis=1)[None, :]
+        )
+        np.maximum(d2, 0.0, out=d2)
+        nearest = np.argpartition(d2, k - 1, axis=1)[:, :k]
+        for i, row in enumerate(nearest):
+            if model.weights == "distance":
+                w = 1.0 / (np.sqrt(d2[i, row]) + 1e-12)
+            else:
+                w = np.ones(k)
+            np.add.at(votes[start + i], model._encoded[row], w)
+    return votes
+
+
+def run_bench(
+    seed: int = 0,
+    n_jobs: int | None = None,
+    smoke: bool = False,
+    out: str = "BENCH_ml.json",
+) -> int:
+    """Run the benchmark; returns a non-zero exit code if any serial vs
+    parallel output mismatch is detected."""
+    n_samples, n_features, n_splits = (240, 10, 5) if smoke else (600, 16, 10)
+    max_jobs = resolve_n_jobs(n_jobs if n_jobs is not None else (2 if smoke else 0))
+    X, y = make_bench_dataset(n_samples, n_features, seed)
+    failures: list[str] = []
+    payload: dict = {
+        "machine": _machine_info(),
+        "smoke": smoke,
+        "seed": seed,
+        "n_jobs": max_jobs,
+        "dataset": {"n_samples": n_samples, "n_features": n_features},
+        "cv": [],
+    }
+
+    print(f"bench: {n_samples}x{n_features} dataset, n_jobs 1 vs {max_jobs}")
+    for name, estimator in _cv_suite(smoke, random_state=seed).items():
+        serial, t_serial = _timed(
+            cross_validate, estimator, X, y,
+            n_splits=n_splits, random_state=seed, name=name, n_jobs=1,
+        )
+        parallel, t_parallel = _timed(
+            cross_validate, estimator, X, y,
+            n_splits=n_splits, random_state=seed, name=name, n_jobs=max_jobs,
+        )
+        equal = serial.summary() == parallel.summary()
+        if not equal:
+            failures.append(f"cv[{name}]: serial and parallel summaries differ")
+        payload["cv"].append(
+            {
+                "model": name,
+                "fit_seconds_serial": round(t_serial, 4),
+                "fit_seconds_parallel": round(t_parallel, 4),
+                "speedup": _speedup(t_serial, t_parallel),
+                "outputs_equal": equal,
+            }
+        )
+        print(
+            f"  cv {name:>4}: {t_serial:7.3f}s -> {t_parallel:7.3f}s "
+            f"({_speedup(t_serial, t_parallel)}x, equal={equal})"
+        )
+
+    # Per-tree forest parallelism: importances must merge in tree order.
+    n_trees = 40 if smoke else 150
+    f_serial, t_serial = _timed(
+        RandomForestClassifier(n_estimators=n_trees, random_state=seed, n_jobs=1).fit,
+        X, y,
+    )
+    f_parallel, t_parallel = _timed(
+        RandomForestClassifier(
+            n_estimators=n_trees, random_state=seed, n_jobs=max_jobs
+        ).fit,
+        X, y,
+    )
+    forest_equal = bool(
+        np.array_equal(f_serial.feature_importances_, f_parallel.feature_importances_)
+        and f_serial.oob_score() == f_parallel.oob_score()
+    )
+    if not forest_equal:
+        failures.append("forest: importances or OOB score differ across n_jobs")
+    payload["forest"] = {
+        "n_estimators": n_trees,
+        "fit_seconds_serial": round(t_serial, 4),
+        "fit_seconds_parallel": round(t_parallel, 4),
+        "speedup": _speedup(t_serial, t_parallel),
+        "outputs_equal": forest_equal,
+    }
+    print(
+        f"  forest ({n_trees} trees): {t_serial:.3f}s -> {t_parallel:.3f}s "
+        f"({payload['forest']['speedup']}x, equal={forest_equal})"
+    )
+
+    # KNN predict: vectorised all-pairs scatter vs the old per-row loop.
+    knn = KNeighborsClassifier(n_neighbors=5).fit(X, y)
+    loop_votes, t_loop = _timed(_reference_knn_votes, knn, X)
+    fast_votes, t_fast = _timed(knn._neighbor_votes, X)
+    knn_equal = bool(np.array_equal(loop_votes, fast_votes))
+    if not knn_equal:
+        failures.append("knn: vectorised votes differ from the per-row loop")
+    payload["knn"] = {
+        "rows": n_samples,
+        "loop_seconds": round(t_loop, 4),
+        "vectorized_seconds": round(t_fast, 4),
+        "speedup": _speedup(t_loop, t_fast),
+        "outputs_equal": knn_equal,
+    }
+    print(
+        f"  knn predict: loop {t_loop:.3f}s -> vectorised {t_fast:.3f}s "
+        f"({payload['knn']['speedup']}x, equal={knn_equal})"
+    )
+
+    with open(out, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+    print(f"wrote {out}")
+
+    for failure in failures:
+        print(f"error: {failure}", file=sys.stderr)
+    return 1 if failures else 0

@@ -12,11 +12,17 @@ Commands
 ``export-figures``  write the raw series behind each figure as CSV
 ``profile``     run a full study + report with tracing on; print the
                 span-tree timing report and the top-N slowest spans
+``bench``       time CV/forest/KNN workloads serial vs parallel, assert
+                output equality, and write BENCH_ml.json
 ``lint``        run the repro.statan static analyzer (determinism &
                 invariants rules) over the source tree
 
 ``simulate``/``report``/``train``/``profile`` accept ``--metrics-out
 FILE`` to enable the metrics registry and archive its JSON export.
+The global ``--n-jobs N`` flag (default: the ``REPRO_N_JOBS``
+environment variable, else serial) fans CV folds, forest trees, and
+experiment cells out across N worker processes; outputs are
+bit-identical at any worker count (DESIGN.md §8).
 """
 
 from __future__ import annotations
@@ -29,7 +35,7 @@ from . import obs
 from .core.model_io import export_detector, import_detector
 from .core.observations import build_observations
 from .core.ondevice import OnDeviceDetector
-from .experiments import EXPERIMENTS, Workbench, run_experiment
+from .experiments import EXPERIMENTS, Workbench, run_experiment, run_many
 from .platform.dashboard import Dashboard
 from .reporting import render_table
 from .simulation import SimulationConfig, run_study
@@ -59,6 +65,12 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--scale", choices=_SCALES, default="small",
                         help="cohort scale (default: small)")
     parser.add_argument("--seed", type=int, default=None, help="override the RNG seed")
+    parser.add_argument(
+        "--n-jobs", type=int, default=None, metavar="N",
+        help="worker processes for CV folds / forest trees / experiment "
+        "cells (default: $REPRO_N_JOBS, else serial; <= 0 means all "
+        "cores); outputs are identical at any worker count",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     def add_metrics_out(command_parser: argparse.ArgumentParser) -> None:
@@ -94,6 +106,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="also print the Prometheus text exposition",
     )
     add_metrics_out(profile)
+
+    bench = sub.add_parser(
+        "bench", help="serial-vs-parallel ML benchmark; writes BENCH_ml.json"
+    )
+    bench.add_argument(
+        "--smoke", action="store_true",
+        help="CI-sized workload (defaults to two workers)",
+    )
+    bench.add_argument("--out", default="BENCH_ml.json", help="output path")
 
     classify = sub.add_parser("classify", help="scan a fresh cohort with exported models")
     classify.add_argument("--models", default="detectors.json", help="exported models path")
@@ -154,21 +175,21 @@ def _cmd_experiment(args) -> int:
             file=sys.stderr,
         )
         return 2
-    workbench = Workbench(_config_for(args.scale, args.seed))
+    workbench = Workbench(_config_for(args.scale, args.seed), n_jobs=args.n_jobs)
     print(run_experiment(args.experiment_id, workbench).render())
     return 0
 
 
 def _cmd_report(args) -> int:
-    workbench = Workbench(_config_for(args.scale, args.seed))
-    for experiment_id in EXPERIMENTS:
-        print(run_experiment(experiment_id, workbench).render())
+    workbench = Workbench(_config_for(args.scale, args.seed), n_jobs=args.n_jobs)
+    for report in run_many(list(EXPERIMENTS), workbench, n_jobs=args.n_jobs):
+        print(report.render())
         print()
     return 0
 
 
 def _cmd_train(args) -> int:
-    workbench = Workbench(_config_for(args.scale, args.seed))
+    workbench = Workbench(_config_for(args.scale, args.seed), n_jobs=args.n_jobs)
     result = workbench.pipeline_result
     payload = (
         '{"app": '
@@ -224,7 +245,7 @@ def _cmd_dashboard(args) -> int:
 def _cmd_findings(args) -> int:
     from .experiments.findings import check_findings
 
-    workbench = Workbench(_config_for(args.scale, args.seed))
+    workbench = Workbench(_config_for(args.scale, args.seed), n_jobs=args.n_jobs)
     results = check_findings(workbench)
     print(
         render_table(
@@ -287,6 +308,17 @@ def _cmd_profile(args) -> int:
     return 0
 
 
+def _cmd_bench(args) -> int:
+    from .benchmark import run_bench
+
+    return run_bench(
+        seed=args.seed if args.seed is not None else 0,
+        n_jobs=args.n_jobs,
+        smoke=args.smoke,
+        out=args.out,
+    )
+
+
 def _cmd_export_figures(args) -> int:
     from .reporting.series import export_figure_data
 
@@ -311,6 +343,7 @@ _COMMANDS = {
     "dashboard": _cmd_dashboard,
     "findings": _cmd_findings,
     "profile": _cmd_profile,
+    "bench": _cmd_bench,
     "export-figures": _cmd_export_figures,
     "write-experiments": _cmd_write_experiments,
 }

@@ -78,8 +78,13 @@ def evaluate_device_algorithms(
     resample: str | None = "smote",
     random_state: int = 0,
     algorithms: dict[str, object] | None = None,
+    n_jobs: int | None = None,
 ) -> DeviceClassifierEvaluation:
-    """Run the §8.2 protocol (10-fold CV, SMOTE by default)."""
+    """Run the §8.2 protocol (10-fold CV, SMOTE by default).
+
+    ``n_jobs`` fans the CV folds (and the importance forest's trees) out
+    across worker processes without changing any reported number.
+    """
     algorithms = algorithms or DEVICE_ALGORITHMS(random_state)
     results: dict[str, CrossValidationResult] = {}
     for name, estimator in algorithms.items():
@@ -93,10 +98,13 @@ def evaluate_device_algorithms(
                 resample=resample,
                 random_state=random_state,
                 name=name,
+                n_jobs=n_jobs,
             )
 
     with obs.trace("ml.importances.device"):
-        forest = RandomForestClassifier(n_estimators=150, random_state=random_state)
+        forest = RandomForestClassifier(
+            n_estimators=150, random_state=random_state, n_jobs=n_jobs
+        )
         forest.fit(dataset.X, dataset.y)
     importances = dict(zip(dataset.feature_names, forest.feature_importances_))
 

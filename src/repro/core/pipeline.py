@@ -85,6 +85,7 @@ class DetectionPipeline:
         device_resample: str | None = "smote",
         app_resample: str | None = None,
         random_state: int = 0,
+        n_jobs: int | None = None,
     ) -> None:
         self.labeling = labeling
         self.app_cv_repeats = app_cv_repeats
@@ -93,6 +94,7 @@ class DetectionPipeline:
         self.device_resample = device_resample
         self.app_resample = app_resample
         self.random_state = random_state
+        self.n_jobs = n_jobs
 
     def run(self, data: StudyData) -> PipelineResult:
         with obs.trace("pipeline"):
@@ -117,6 +119,7 @@ class DetectionPipeline:
                 n_repeats=self.app_cv_repeats,
                 resample=self.app_resample,
                 random_state=self.random_state,
+                n_jobs=self.n_jobs,
             )
             app_model = AppClassifier(self.random_state).fit(app_dataset)
 
@@ -137,6 +140,7 @@ class DetectionPipeline:
                 n_repeats=self.device_cv_repeats,
                 resample=self.device_resample,
                 random_state=self.random_state,
+                n_jobs=self.n_jobs,
             )
             device_model = DeviceClassifier(self.random_state).fit(device_dataset)
 

@@ -35,11 +35,21 @@ class ExperimentReport:
 
 
 class Workbench:
-    """Lazily computed study + pipeline shared across experiments."""
+    """Lazily computed study + pipeline shared across experiments.
 
-    def __init__(self, config: SimulationConfig | None = None, pipeline: DetectionPipeline | None = None) -> None:
+    ``n_jobs`` is forwarded to the default pipeline's CV / forest fits
+    (ignored when an explicit ``pipeline`` is supplied); outputs are
+    bit-identical at any worker count.
+    """
+
+    def __init__(
+        self,
+        config: SimulationConfig | None = None,
+        pipeline: DetectionPipeline | None = None,
+        n_jobs: int | None = None,
+    ) -> None:
         self.config = config or SimulationConfig()
-        self._pipeline = pipeline or DetectionPipeline(n_splits=10)
+        self._pipeline = pipeline or DetectionPipeline(n_splits=10, n_jobs=n_jobs)
 
     @cached_property
     def data(self) -> StudyData:

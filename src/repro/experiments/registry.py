@@ -7,10 +7,11 @@ benchmark harness and examples call.
 
 from __future__ import annotations
 
-import time
 from typing import Callable
 
 from .. import obs
+from ..parallel import parallel_map, resolve_n_jobs
+from ..simulation.config import SimulationConfig
 from .classifiers import (
     run_fig13_app_importance,
     run_fig14_device_importance,
@@ -34,7 +35,7 @@ from .measurements import (
     run_fig12_malware,
 )
 
-__all__ = ["EXPERIMENTS", "run_experiment", "run_all"]
+__all__ = ["EXPERIMENTS", "run_experiment", "run_many", "run_all"]
 
 EXPERIMENTS: dict[str, Callable[[Workbench], ExperimentReport]] = {
     "fig00": run_fig00_dataset_overview,
@@ -64,22 +65,75 @@ def run_experiment(experiment_id: str, workbench: Workbench | None = None) -> Ex
             f"unknown experiment {experiment_id!r}; known: {sorted(EXPERIMENTS)}"
         )
     workbench = workbench or shared_workbench()
-    started = time.perf_counter()
-    with obs.trace(f"experiment.{experiment_id}"):
-        report = EXPERIMENTS[experiment_id](workbench)
-    elapsed = time.perf_counter() - started
-    obs.histogram(
+    duration = obs.histogram(
         "experiment_seconds",
         {"experiment": experiment_id},
         help="per-experiment wall time",
-    ).observe(elapsed)
+    )
+    with obs.timer(duration) as timed, obs.trace(f"experiment.{experiment_id}"):
+        report = EXPERIMENTS[experiment_id](workbench)
     obs.get_logger("experiments").info(
-        "experiment_complete", id=experiment_id, seconds=round(elapsed, 3)
+        "experiment_complete", id=experiment_id, seconds=round(timed.elapsed, 3)
     )
     return report
 
 
-def run_all(workbench: Workbench | None = None) -> list[ExperimentReport]:
-    """Run every registered experiment in id order."""
+# Per-process workbench cache for experiment-cell workers, keyed by the
+# (frozen, hashable) simulation config.  Each worker process lazily
+# builds at most one workbench per config; with the fork start method it
+# additionally shares the parent's already-simulated study copy-on-write.
+_WORKBENCHES: dict[SimulationConfig, Workbench] = {}
+
+
+def _cell_workbench(config: SimulationConfig) -> Workbench:
+    workbench = _WORKBENCHES.get(config)
+    if workbench is None:
+        workbench = _WORKBENCHES[config] = Workbench(config)
+    return workbench
+
+
+def _run_cell(experiment_id: str, config: SimulationConfig) -> ExperimentReport:
+    """One experiment cell, runnable in a worker process.
+
+    Every report is a pure function of ``config`` (simulation, pipeline,
+    and experiment maths are all seeded from it), so cells computed in
+    different processes are byte-identical to a serial run.
+    """
+    return run_experiment(experiment_id, _cell_workbench(config))
+
+
+def run_many(
+    experiment_ids: list[str] | tuple[str, ...],
+    workbench: Workbench | None = None,
+    n_jobs: int | None = None,
+) -> list[ExperimentReport]:
+    """Run several experiment cells, optionally across worker processes.
+
+    Reports come back in ``experiment_ids`` order regardless of which
+    cell finishes first.  Determinism contract (DESIGN.md §8): each cell
+    derives everything from the workbench's frozen config, so the worker
+    count never changes a report.  Worker-side metrics (``ml_fit_seconds``
+    etc.) are merged back into the parent registry.
+    """
+    unknown = [eid for eid in experiment_ids if eid not in EXPERIMENTS]
+    if unknown:
+        raise KeyError(f"unknown experiments {unknown!r}; known: {sorted(EXPERIMENTS)}")
     workbench = workbench or shared_workbench()
-    return [EXPERIMENTS[eid](workbench) for eid in EXPERIMENTS]
+    if resolve_n_jobs(n_jobs) == 1 or len(experiment_ids) < 2:
+        return [run_experiment(eid, workbench) for eid in experiment_ids]
+    # Warm the simulation before fan-out: with fork workers the study is
+    # then shared copy-on-write instead of re-simulated per worker.
+    workbench.data
+    _WORKBENCHES.setdefault(workbench.config, workbench)
+    return parallel_map(
+        _run_cell,
+        [(eid, workbench.config) for eid in experiment_ids],
+        n_jobs=n_jobs,
+    )
+
+
+def run_all(
+    workbench: Workbench | None = None, n_jobs: int | None = None
+) -> list[ExperimentReport]:
+    """Run every registered experiment in id order."""
+    return run_many(list(EXPERIMENTS), workbench=workbench, n_jobs=n_jobs)

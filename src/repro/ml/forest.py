@@ -3,16 +3,47 @@
 Used for the "RF" rows of Tables 1 and 2, and — because the paper measures
 variable importance by *mean decrease in Gini* [Breiman 2001] — as the
 importance estimator behind Figures 13 and 14.
+
+Trees are independent once their bootstrap sample and seed are fixed, so
+``fit`` fans tree growth out across worker processes when ``n_jobs > 1``.
+Determinism contract (DESIGN.md §8): every bootstrap sample and per-tree
+seed is drawn from ``random_state`` *before* any fan-out, in the exact
+order the serial loop has always drawn them, and trees (with their
+out-of-bag votes and Gini importances) are merged back in tree order —
+the same seed yields byte-identical forests at any worker count.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from ..parallel import draw_seeds, parallel_map
 from .base import BaseEstimator, ClassifierMixin, check_array, check_random_state, check_X_y
 from .tree import DecisionTreeClassifier
 
 __all__ = ["RandomForestClassifier"]
+
+
+def _fit_tree(
+    X: np.ndarray,
+    encoded: np.ndarray,
+    sample: np.ndarray,
+    seed: int,
+    params: dict,
+    n_classes: int,
+    bootstrap: bool,
+) -> tuple[DecisionTreeClassifier, np.ndarray | None, np.ndarray | None]:
+    """Grow one pre-seeded tree; return it with its out-of-bag votes."""
+    tree = DecisionTreeClassifier(random_state=seed, **params)
+    # Fit on encoded labels so every tree shares the class space even if
+    # a bootstrap sample misses a class.
+    tree.fit(X[sample], encoded[sample], sample_classes=n_classes)
+    if not bootstrap:
+        return tree, None, None
+    oob = np.setdiff1d(np.arange(X.shape[0]), np.unique(sample))
+    if not oob.size:
+        return tree, oob, None
+    return tree, oob, tree.predict_proba(X[oob])
 
 
 class RandomForestClassifier(BaseEstimator, ClassifierMixin):
@@ -22,6 +53,9 @@ class RandomForestClassifier(BaseEstimator, ClassifierMixin):
     fit on a bootstrap sample with ``max_features`` features considered
     per split (default ``"sqrt"``).  ``feature_importances_`` averages the
     per-tree mean decrease in Gini, matching the measure in Figs. 13/14.
+    ``n_jobs`` controls per-tree fit parallelism (``None`` →
+    ``REPRO_N_JOBS`` → serial; ``<= 0`` → all cores) without changing a
+    single output bit.
     """
 
     def __init__(
@@ -33,6 +67,7 @@ class RandomForestClassifier(BaseEstimator, ClassifierMixin):
         max_features: int | float | str | None = "sqrt",
         bootstrap: bool = True,
         random_state: int | None = None,
+        n_jobs: int | None = None,
     ) -> None:
         self.n_estimators = n_estimators
         self.max_depth = max_depth
@@ -41,6 +76,7 @@ class RandomForestClassifier(BaseEstimator, ClassifierMixin):
         self.max_features = max_features
         self.bootstrap = bootstrap
         self.random_state = random_state
+        self.n_jobs = n_jobs
 
     def fit(self, X, y) -> "RandomForestClassifier":
         X, y = check_X_y(X, y)
@@ -49,31 +85,45 @@ class RandomForestClassifier(BaseEstimator, ClassifierMixin):
         rng = check_random_state(self.random_state)
         n = X.shape[0]
 
-        self.estimators_: list[DecisionTreeClassifier] = []
-        self._oob_votes = np.zeros((n, len(self.classes_)), dtype=np.float64)
-        self._oob_counts = np.zeros(n, dtype=np.int64)
-        self._oob_truth = encoded
+        # Pre-draw every tree's bootstrap sample and seed before any
+        # fan-out, preserving the serial draw order (sample then seed,
+        # per tree) so results never depend on the worker count.
+        samples: list[np.ndarray] = []
+        seeds: list[int] = []
         for _ in range(self.n_estimators):
             if self.bootstrap:
-                sample = rng.integers(0, n, size=n)
+                samples.append(rng.integers(0, n, size=n))
             else:
-                sample = np.arange(n)
-            tree = DecisionTreeClassifier(
-                max_depth=self.max_depth,
-                min_samples_split=self.min_samples_split,
-                min_samples_leaf=self.min_samples_leaf,
-                max_features=self.max_features,
-                random_state=int(rng.integers(0, 2**31 - 1)),
-            )
-            # Fit on encoded labels so every tree shares the class space
-            # even if a bootstrap sample misses a class.
-            tree.fit(X[sample], encoded[sample], sample_classes=len(self.classes_))
+                samples.append(np.arange(n))
+            seeds.extend(draw_seeds(rng, 1))
+
+        params = {
+            "max_depth": self.max_depth,
+            "min_samples_split": self.min_samples_split,
+            "min_samples_leaf": self.min_samples_leaf,
+            "max_features": self.max_features,
+        }
+        n_classes = len(self.classes_)
+        fitted = parallel_map(
+            _fit_tree,
+            [
+                (X, encoded, samples[i], seeds[i], params, n_classes, self.bootstrap)
+                for i in range(self.n_estimators)
+            ],
+            n_jobs=self.n_jobs,
+        )
+
+        self.estimators_ = []
+        self._oob_votes = np.zeros((n, n_classes), dtype=np.float64)
+        self._oob_counts = np.zeros(n, dtype=np.int64)
+        self._oob_truth = encoded
+        # Collection is in submission (= tree) order, so vote/importance
+        # accumulation reproduces the serial float-summation order.
+        for tree, oob, oob_proba in fitted:
             self.estimators_.append(tree)
-            if self.bootstrap:
-                oob = np.setdiff1d(np.arange(n), np.unique(sample))
-                if oob.size:
-                    self._oob_votes[oob] += tree.predict_proba(X[oob])
-                    self._oob_counts[oob] += 1
+            if oob is not None and oob.size:
+                self._oob_votes[oob] += oob_proba
+                self._oob_counts[oob] += 1
         return self
 
     def predict_proba(self, X) -> np.ndarray:

@@ -54,14 +54,22 @@ class KNeighborsClassifier(BaseEstimator, ClassifierMixin):
         return self
 
     def _neighbor_votes(self, X: np.ndarray) -> np.ndarray:
-        """Per-query class vote mass from the K nearest training points."""
+        """Per-query class vote mass from the K nearest training points.
+
+        Fully vectorised: each chunk's votes are scattered in one
+        ``bincount`` over flattened (query, class) cells — no per-row
+        Python loop.  Within a cell, weights accumulate in neighbour
+        order, so results match the naive per-row scatter bit for bit.
+        """
         Z = (check_array(X) - self._mu) / self._sigma
         k = min(self.n_neighbors, self._train.shape[0])
-        votes = np.zeros((Z.shape[0], len(self.classes_)), dtype=np.float64)
+        n_classes = len(self.classes_)
+        votes = np.zeros((Z.shape[0], n_classes), dtype=np.float64)
         # Chunk queries to bound the distance-matrix memory footprint.
         chunk = max(1, 2_000_000 // max(1, self._train.shape[0]))
         for start in range(0, Z.shape[0], chunk):
             block = Z[start : start + chunk]
+            m = block.shape[0]
             d2 = (
                 np.sum(block**2, axis=1)[:, None]
                 - 2.0 * block @ self._train.T
@@ -69,12 +77,14 @@ class KNeighborsClassifier(BaseEstimator, ClassifierMixin):
             )
             np.maximum(d2, 0.0, out=d2)
             nearest = np.argpartition(d2, k - 1, axis=1)[:, :k]
-            for i, row in enumerate(nearest):
-                if self.weights == "distance":
-                    w = 1.0 / (np.sqrt(d2[i, row]) + 1e-12)
-                else:
-                    w = np.ones(k)
-                np.add.at(votes[start + i], self._encoded[row], w)
+            if self.weights == "distance":
+                w = 1.0 / (np.sqrt(np.take_along_axis(d2, nearest, axis=1)) + 1e-12)
+            else:
+                w = np.ones((m, k), dtype=np.float64)
+            cells = np.repeat(np.arange(m), k) * n_classes + self._encoded[nearest].ravel()
+            votes[start : start + m] = np.bincount(
+                cells, weights=w.ravel(), minlength=m * n_classes
+            ).reshape(m, n_classes)
         return votes
 
     def predict_proba(self, X) -> np.ndarray:

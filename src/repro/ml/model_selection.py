@@ -4,17 +4,25 @@ Both tables use 10-fold cross-validation; Table 1 repeats it 5 times
 ("repeated 10-fold cross-validation (n=5)").  Resampling (SMOTE /
 over / under) is applied *inside* each fold, to the training split
 only, so no synthetic point ever leaks into validation.
+
+Fold jobs are independent, so ``cross_validate`` fans them out across
+worker processes when ``n_jobs > 1``.  Determinism contract (DESIGN.md
+§8): every fold's train/test indices and resampling seed are derived
+*before* any fan-out, in the exact order the serial loop has always
+drawn them, and fold reports are collected by submission index — the
+same ``random_state`` yields byte-identical results at any worker
+count.
 """
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Callable, Iterator
 
 import numpy as np
 
 from .. import obs
+from ..parallel import draw_seeds, parallel_map
 from .base import check_random_state, check_X_y, clone
 from .metrics import ClassificationReport, classification_report
 from .sampling import RESAMPLERS
@@ -25,6 +33,30 @@ __all__ = [
     "CrossValidationResult",
     "cross_validate",
 ]
+
+
+def _stratified_fold_of(
+    y: np.ndarray, n_splits: int, shuffle: bool, rng: np.random.Generator
+) -> np.ndarray:
+    """Per-sample fold assignment: per-class round-robin after an
+    optional per-class shuffle, preserving class ratios in every fold.
+
+    Operates on an already-validated label vector so repeated splits
+    (e.g. one per CV repeat) never re-validate the feature matrix.
+    """
+    n = y.shape[0]
+    fold_of = np.empty(n, dtype=np.int64)
+    for label in np.unique(y):
+        members = np.nonzero(y == label)[0]
+        if shuffle:
+            members = rng.permutation(members)
+        if members.size < n_splits:
+            raise ValueError(
+                f"class {label!r} has {members.size} samples, fewer than "
+                f"n_splits={n_splits}"
+            )
+        fold_of[members] = np.arange(members.size) % n_splits
+    return fold_of
 
 
 class StratifiedKFold:
@@ -41,18 +73,7 @@ class StratifiedKFold:
     def split(self, X, y) -> Iterator[tuple[np.ndarray, np.ndarray]]:
         X, y = check_X_y(X, y)
         rng = check_random_state(self.random_state)
-        n = y.shape[0]
-        fold_of = np.empty(n, dtype=np.int64)
-        for label in np.unique(y):
-            members = np.nonzero(y == label)[0]
-            if self.shuffle:
-                members = rng.permutation(members)
-            if members.size < self.n_splits:
-                raise ValueError(
-                    f"class {label!r} has {members.size} samples, fewer than "
-                    f"n_splits={self.n_splits}"
-                )
-            fold_of[members] = np.arange(members.size) % self.n_splits
+        fold_of = _stratified_fold_of(y, self.n_splits, self.shuffle, rng)
         for fold in range(self.n_splits):
             test = np.nonzero(fold_of == fold)[0]
             train = np.nonzero(fold_of != fold)[0]
@@ -66,7 +87,13 @@ def train_test_split(
     stratify: bool = True,
     random_state: int | None = None,
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
-    """Stratified (by default) train/test partition."""
+    """Stratified (by default) train/test partition.
+
+    Every class keeps at least one training sample: ``test_size``
+    rounding can otherwise consume a tiny class whole (e.g. 2 samples at
+    ``test_size=0.8`` rounds to 2), which would hand the estimator a
+    training set missing a class.
+    """
     X, y = check_X_y(X, y)
     rng = check_random_state(random_state)
     n = y.shape[0]
@@ -74,11 +101,11 @@ def train_test_split(
     if stratify:
         for label in np.unique(y):
             members = rng.permutation(np.nonzero(y == label)[0])
-            k = max(1, int(round(test_size * members.size)))
+            k = min(max(1, int(round(test_size * members.size))), members.size - 1)
             test_mask[members[:k]] = True
     else:
         members = rng.permutation(n)
-        k = max(1, int(round(test_size * n)))
+        k = min(max(1, int(round(test_size * n))), n - 1)
         test_mask[members[:k]] = True
     return X[~test_mask], X[test_mask], y[~test_mask], y[test_mask]
 
@@ -132,6 +159,42 @@ class CrossValidationResult:
         }
 
 
+def _run_fold(
+    estimator,
+    X: np.ndarray,
+    y: np.ndarray,
+    train: np.ndarray,
+    test: np.ndarray,
+    resample: Callable | None,
+    resample_seed: int | None,
+    pos_label,
+    model_name: str,
+) -> ClassificationReport:
+    """Fit/score one pre-drawn CV fold (runs in-process or in a worker)."""
+    X_train, y_train = X[train], y[train]
+    if resample is not None:
+        X_train, y_train = resample(X_train, y_train, random_state=resample_seed)
+    model = clone(estimator)
+    fit_timer = obs.histogram(
+        "ml_fit_seconds", {"model": model_name}, help="per-fold fit wall time"
+    )
+    predict_timer = obs.histogram(
+        "ml_predict_seconds", {"model": model_name}, help="per-fold predict wall time"
+    )
+    with obs.timer(fit_timer):
+        model.fit(X_train, y_train)
+    with obs.timer(predict_timer):
+        y_pred = model.predict(X[test])
+    obs.counter("ml_folds_total", {"model": model_name}).inc()
+    y_score = None
+    if hasattr(model, "predict_proba"):
+        proba = model.predict_proba(X[test])
+        if proba.shape[1] == 2:
+            positive_col = int(np.nonzero(model.classes_ == pos_label)[0][0]) if pos_label in model.classes_ else 1
+            y_score = proba[:, positive_col]
+    return classification_report(y[test], y_pred, y_score, pos_label=pos_label)
+
+
 def cross_validate(
     estimator,
     X,
@@ -142,6 +205,7 @@ def cross_validate(
     pos_label=1,
     random_state: int | None = None,
     name: str | None = None,
+    n_jobs: int | None = None,
 ) -> CrossValidationResult:
     """Repeated stratified k-fold CV with in-fold resampling.
 
@@ -156,45 +220,38 @@ def cross_validate(
     name:
         Label for the per-fold ``ml_fit_seconds``/``ml_predict_seconds``
         timing metrics (defaults to the estimator's class name).
+    n_jobs:
+        Fold-level worker processes (``None`` → ``REPRO_N_JOBS`` → 1;
+        ``<= 0`` → all cores).  Results are bit-identical at any worker
+        count; the estimator and any ``resample`` callable must be
+        picklable when ``n_jobs > 1``.
     """
     X, y = check_X_y(X, y)
     if isinstance(resample, str):
         resample = RESAMPLERS[resample]
     rng = check_random_state(random_state)
     model_name = name or type(estimator).__name__
-    fit_timer = obs.histogram(
-        "ml_fit_seconds", {"model": model_name}, help="per-fold fit wall time"
-    )
-    predict_timer = obs.histogram(
-        "ml_predict_seconds", {"model": model_name}, help="per-fold predict wall time"
-    )
-    fold_counter = obs.counter("ml_folds_total", {"model": model_name})
+
+    # Derive every fold's indices and seed *before* any fan-out, in the
+    # exact order the serial loop draws them: per repeat, one split seed,
+    # then (with resampling) one resample seed per fold.  X and y are
+    # validated exactly once above; fold index arrays are reused instead
+    # of re-running check_X_y per split.
+    jobs: list[tuple] = []
+    for _repeat in range(n_repeats):
+        (seed,) = draw_seeds(rng, 1)
+        fold_of = _stratified_fold_of(
+            y, n_splits, shuffle=True, rng=check_random_state(seed)
+        )
+        for fold in range(n_splits):
+            test = np.nonzero(fold_of == fold)[0]
+            train = np.nonzero(fold_of != fold)[0]
+            resample_seed = draw_seeds(rng, 1)[0] if resample is not None else None
+            jobs.append(
+                (estimator, X, y, train, test, resample, resample_seed,
+                 pos_label, model_name)
+            )
 
     result = CrossValidationResult()
-    for repeat in range(n_repeats):
-        seed = int(rng.integers(0, 2**31 - 1))
-        splitter = StratifiedKFold(n_splits=n_splits, shuffle=True, random_state=seed)
-        for train, test in splitter.split(X, y):
-            X_train, y_train = X[train], y[train]
-            if resample is not None:
-                X_train, y_train = resample(
-                    X_train, y_train, random_state=int(rng.integers(0, 2**31 - 1))
-                )
-            model = clone(estimator)
-            started = time.perf_counter()
-            model.fit(X_train, y_train)
-            fit_timer.observe(time.perf_counter() - started)
-            started = time.perf_counter()
-            y_pred = model.predict(X[test])
-            predict_timer.observe(time.perf_counter() - started)
-            fold_counter.inc()
-            y_score = None
-            if hasattr(model, "predict_proba"):
-                proba = model.predict_proba(X[test])
-                if proba.shape[1] == 2:
-                    positive_col = int(np.nonzero(model.classes_ == pos_label)[0][0]) if pos_label in model.classes_ else 1
-                    y_score = proba[:, positive_col]
-            result.fold_reports.append(
-                classification_report(y[test], y_pred, y_score, pos_label=pos_label)
-            )
+    result.fold_reports.extend(parallel_map(_run_fold, jobs, n_jobs=n_jobs))
     return result

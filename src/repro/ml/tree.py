@@ -68,21 +68,21 @@ def _gini(counts: np.ndarray) -> float:
 
 def _best_split_classification(
     X: np.ndarray,
-    y: np.ndarray,
-    n_classes: int,
+    onehot: np.ndarray,
     feature_ids: np.ndarray,
     min_samples_leaf: int,
 ) -> tuple[int, float, float]:
     """Search for the Gini-gain-maximising split among ``feature_ids``.
 
-    Returns ``(feature, threshold, gain)``; ``feature == -1`` means no
-    valid split exists.  Gain is the *unnormalised* impurity decrease
-    ``N * (impurity_parent - weighted child impurity)`` so that summing
-    gains over a tree matches the classic mean-decrease-in-Gini totals.
+    ``onehot`` is the one-hot label matrix for the samples at this node —
+    encoded once per fit and sliced down the recursion, rather than
+    rebuilt at every node.  Returns ``(feature, threshold, gain)``;
+    ``feature == -1`` means no valid split exists.  Gain is the
+    *unnormalised* impurity decrease ``N * (impurity_parent - weighted
+    child impurity)`` so that summing gains over a tree matches the
+    classic mean-decrease-in-Gini totals.
     """
-    n = y.shape[0]
-    onehot = np.zeros((n, n_classes), dtype=np.float64)
-    onehot[np.arange(n), y] = 1.0
+    n = onehot.shape[0]
     parent_counts = onehot.sum(axis=0)
     parent_impurity = _gini(parent_counts)
 
@@ -209,7 +209,11 @@ class DecisionTreeClassifier(BaseEstimator, ClassifierMixin):
         self._rng = check_random_state(self.random_state)
         self._importances = np.zeros(self.n_features_, dtype=np.float64)
         self._n_fit_samples = X.shape[0]
-        self.root_ = self._grow(X, encoded, depth=0)
+        # One-hot encode labels once per fit; the recursion slices this
+        # matrix down alongside X instead of rebuilding it at every node.
+        onehot = np.zeros((X.shape[0], self.n_classes_), dtype=np.float64)
+        onehot[np.arange(X.shape[0]), encoded] = 1.0
+        self.root_ = self._grow(X, encoded, onehot, depth=0)
         return self
 
     def _resolve_max_features(self) -> int:
@@ -228,7 +232,7 @@ class DecisionTreeClassifier(BaseEstimator, ClassifierMixin):
         counts = np.bincount(y, minlength=self.n_classes_).astype(np.float64)
         return TreeNode(value=counts / counts.sum(), n_samples=y.shape[0], impurity=_gini(counts))
 
-    def _grow(self, X: np.ndarray, y: np.ndarray, depth: int) -> TreeNode:
+    def _grow(self, X: np.ndarray, y: np.ndarray, onehot: np.ndarray, depth: int) -> TreeNode:
         node = self._leaf(y)
         if (
             (self.max_depth is not None and depth >= self.max_depth)
@@ -244,7 +248,7 @@ class DecisionTreeClassifier(BaseEstimator, ClassifierMixin):
             feature_ids = np.arange(self.n_features_)
 
         feature, threshold, gain = _best_split_classification(
-            X, y, self.n_classes_, feature_ids, self.min_samples_leaf
+            X, onehot, feature_ids, self.min_samples_leaf
         )
         if feature < 0:
             return node
@@ -256,8 +260,8 @@ class DecisionTreeClassifier(BaseEstimator, ClassifierMixin):
         # Mean decrease in Gini: impurity decrease weighted by the fraction
         # of training samples that reach this node.
         self._importances[feature] += gain / self._n_fit_samples
-        node.left = self._grow(X[mask], y[mask], depth + 1)
-        node.right = self._grow(X[~mask], y[~mask], depth + 1)
+        node.left = self._grow(X[mask], y[mask], onehot[mask], depth + 1)
+        node.right = self._grow(X[~mask], y[~mask], onehot[~mask], depth + 1)
         return node
 
     # -- prediction --------------------------------------------------------

@@ -32,6 +32,7 @@ from .metrics import (
     Histogram,
     MetricsRegistry,
     NullRegistry,
+    Timer,
     parse_prometheus,
 )
 from .tracing import NullTracer, SpanNode, Tracer
@@ -48,10 +49,12 @@ __all__ = [
     "counter",
     "gauge",
     "histogram",
+    "timer",
     "get_logger",
     "Counter",
     "Gauge",
     "Histogram",
+    "Timer",
     "MetricsRegistry",
     "NullRegistry",
     "SpanNode",
@@ -146,6 +149,16 @@ def histogram(
     buckets: tuple[float, ...] = DEFAULT_BUCKETS,
 ) -> Histogram:
     return _registry.histogram(name, labels, help, buckets)
+
+
+def timer(histogram: Histogram | None = None) -> Timer:
+    """Time a block of code: ``with obs.timer(hist) as t: ...``.
+
+    All wall-clock duration measurement goes through this (DET002);
+    pass a histogram to record the duration, or nothing to just read
+    ``t.elapsed`` afterwards.
+    """
+    return Timer(histogram)
 
 
 def get_logger(name: str = "") -> StructLogger:

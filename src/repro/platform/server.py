@@ -13,7 +13,6 @@ from __future__ import annotations
 import gzip
 import itertools
 import json
-import time
 from dataclasses import dataclass
 
 from .. import obs
@@ -169,11 +168,12 @@ class RacketStoreServer:
     def receive_chunk(self, kind: str, data: bytes) -> str:
         """Ingest one compressed chunk; the returned SHA-256 is the
         delivery acknowledgement the mobile app validates against."""
-        started = time.perf_counter()
         ack = chunk_hash(data)
         self._c_chunks.inc()
         self._c_bytes.inc(len(data))
-        with obs.trace("ingest.chunk"):
+        # obs.timer observes on every exit path, so the malformed-chunk
+        # early return is recorded too.
+        with obs.timer(self._h_latency), obs.trace("ingest.chunk"):
             try:
                 lines = gzip.decompress(data).decode().splitlines()
             except (OSError, UnicodeDecodeError):
@@ -181,7 +181,6 @@ class RacketStoreServer:
                 obs.get_logger("ingest").warning(
                     "malformed_chunk", kind=kind, bytes=len(data)
                 )
-                self._h_latency.observe(time.perf_counter() - started)
                 return ack
             for line in lines:
                 if not line.strip():
@@ -194,7 +193,6 @@ class RacketStoreServer:
                     obs.get_logger("ingest").warning("malformed_record", kind=kind)
                     continue
                 self._insert_record(payload["_type"], payload, record)
-        self._h_latency.observe(time.perf_counter() - started)
         return ack
 
     def _insert_record(self, type_name: str, payload: dict, record) -> None:

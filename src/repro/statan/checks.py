@@ -64,6 +64,19 @@ _WALL_CLOCK_CALLS = frozenset(
     }
 )
 
+#: Monotonic duration clocks.  These don't leak wall-clock time into
+#: outputs, but ``repro.obs`` owns duration measurement (``obs.timer``)
+#: so instrumentation stays centralised and mockable; reading them
+#: anywhere else is a DET002 finding too.
+_DURATION_CLOCK_CALLS = frozenset(
+    {
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+    }
+)
+
 
 def _calls(tree: ast.AST) -> Iterator[ast.Call]:
     for node in ast.walk(tree):
@@ -165,8 +178,10 @@ class WallClock(Rule):
     Simulation, analysis, ML and experiment code must take time from
     ``simulation/clock.py`` (or an explicit timestamp argument); a
     single ``time.time()`` makes seeded runs non-reproducible.
-    ``time.perf_counter``/``monotonic`` stay legal — durations do not
-    feed serialized output.  The ``obs`` package is exempt.
+    ``time.perf_counter``/``monotonic`` are duration clocks, not wall
+    clocks, but ``repro.obs`` owns duration measurement: time a block
+    with ``obs.timer(histogram)`` instead of reading the clock directly.
+    The ``obs`` package (and the analyzer itself) is exempt.
     """
 
     id = "DET002"
@@ -183,6 +198,13 @@ class WallClock(Rule):
                     f"'{resolved}' reads the wall clock; use the virtual "
                     "clock (repro.simulation.clock) or take the timestamp "
                     "as an argument",
+                )
+            elif resolved in _DURATION_CLOCK_CALLS:
+                yield self.finding(
+                    ctx, call,
+                    f"'{resolved}' measures a duration outside repro.obs; "
+                    "wrap the block in 'with obs.timer(histogram):' so "
+                    "instrumentation stays centralised",
                 )
 
 

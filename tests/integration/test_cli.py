@@ -85,3 +85,20 @@ class TestCommands:
         assert "fig15_suspiciousness.csv" in files
         header = (out / "fig09_churn.csv").read_text().splitlines()[0]
         assert header == "install_id,group,daily_installs,daily_uninstalls"
+
+    def test_bench_smoke(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_ml.json"
+        assert main(["--n-jobs", "2", "bench", "--smoke", "--out", str(out)]) == 0
+        payload = json.loads(out.read_text())
+        assert payload["smoke"] is True
+        assert payload["n_jobs"] == 2
+        assert payload["cv"] and all(row["outputs_equal"] for row in payload["cv"])
+        assert payload["forest"]["outputs_equal"] is True
+        assert payload["knn"]["outputs_equal"] is True
+        assert {"machine", "dataset", "seed"} <= set(payload)
+        assert "serial vs" not in capsys.readouterr().err
+
+    def test_report_accepts_n_jobs(self, capsys):
+        assert main(["--scale", "small", "--n-jobs", "1", "report"]) == 0
+        out = capsys.readouterr().out
+        assert "table1" in out and "fig15" in out

@@ -1,0 +1,43 @@
+"""The vectorised KNN vote scatter against the per-row reference loop."""
+
+import numpy as np
+import pytest
+
+from repro.benchmark import _reference_knn_votes, make_bench_dataset
+from repro.ml import KNeighborsClassifier
+
+
+@pytest.mark.parametrize("weights", ["uniform", "distance"])
+def test_vectorized_votes_match_reference_loop(weights):
+    X, y = make_bench_dataset(150, 7, root_seed=31)
+    model = KNeighborsClassifier(n_neighbors=5, weights=weights).fit(X, y)
+    queries, _ = make_bench_dataset(40, 7, root_seed=32)
+    assert np.array_equal(
+        model._neighbor_votes(queries), _reference_knn_votes(model, queries)
+    )
+
+
+def test_vectorized_votes_match_reference_across_chunks():
+    # A training set large enough that the queries span several chunks,
+    # exercising the per-chunk scatter into votes[start : start + m].
+    X, y = make_bench_dataset(60_000, 3, root_seed=33)
+    model = KNeighborsClassifier(n_neighbors=3).fit(X, y)
+    queries = X[:80]
+    assert np.array_equal(
+        model._neighbor_votes(queries), _reference_knn_votes(model, queries)
+    )
+
+
+def test_multiclass_votes_and_proba():
+    rng = np.random.default_rng(99)
+    X = rng.normal(size=(90, 5))
+    y = np.arange(90) % 3
+    X += y[:, None]
+    model = KNeighborsClassifier(n_neighbors=5).fit(X, y)
+    proba = model.predict_proba(X)
+    assert proba.shape == (90, 3)
+    assert np.allclose(proba.sum(axis=1), 1.0)
+    assert np.array_equal(
+        model._neighbor_votes(X), _reference_knn_votes(model, X)
+    )
+    assert (model.predict(X) == y).mean() > 0.8

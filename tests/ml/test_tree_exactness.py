@@ -44,8 +44,10 @@ class TestSplitExactness:
         rng = np.random.default_rng(seed)
         X = rng.normal(0, 1, (n, d)).round(1)  # rounding creates ties
         y = rng.integers(0, 2, n)
+        onehot = np.zeros((n, 2), dtype=np.float64)
+        onehot[np.arange(n), y] = 1.0
         fast = _best_split_classification(
-            X, y, 2, np.arange(d), min_samples_leaf=1
+            X, onehot, np.arange(d), min_samples_leaf=1
         )
         slow = brute_force_best_gini_split(X, y, 2)
         assert fast[2] == pytest.approx(slow[2], abs=1e-9)

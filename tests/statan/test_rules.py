@@ -85,9 +85,18 @@ class TestDET002WallClock:
         src = "import datetime\n\ndef f():\n    return datetime.datetime.utcnow()\n"
         assert "DET002" in rules_hit(src, path="repro/analysis/snippet.py")
 
-    def test_perf_counter_allowed(self):
+    def test_perf_counter_flagged_outside_obs(self):
+        # Duration clocks are reserved for repro.obs (obs.timer).
         src = "import time\n\ndef f():\n    return time.perf_counter()\n"
-        assert rules_hit(src) == []
+        assert "DET002" in rules_hit(src)
+
+    def test_monotonic_flagged_outside_obs(self):
+        src = "import time\n\ndef f():\n    return time.monotonic()\n"
+        assert "DET002" in rules_hit(src, path="repro/ml/snippet.py")
+
+    def test_perf_counter_allowed_in_obs(self):
+        src = "import time\n\ndef f():\n    return time.perf_counter()\n"
+        assert rules_hit(src, path="repro/obs/snippet.py") == []
 
     def test_obs_package_exempt(self):
         src = "import time\n\ndef f():\n    return time.time()\n"
