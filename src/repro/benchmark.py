@@ -1,15 +1,22 @@
-"""``python -m repro bench`` — parallel speedup + determinism benchmark.
+"""``python -m repro bench`` — speedup + determinism benchmark suites.
 
-Times Table 1/Table 2-style workloads (repeated stratified CV over the
-paper's algorithm suite, a per-tree-parallel forest fit, and the KNN
-all-pairs predict) at ``n_jobs = 1`` versus ``n_jobs = max``, asserts
-that serial and parallel runs produce byte-identical outputs (the
-DESIGN.md §8 contract), and writes the measurements to ``BENCH_ml.json``.
+The ``ml`` suite times Table 1/Table 2-style workloads (repeated
+stratified CV over the paper's algorithm suite, a per-tree-parallel
+forest fit, and the KNN all-pairs predict) at ``n_jobs = 1`` versus
+``n_jobs = max``, asserts that serial and parallel runs produce
+byte-identical outputs (the DESIGN.md §8 contract), and writes the
+measurements to ``BENCH_ml.json``.
 
-``--smoke`` shrinks the workload to CI size and defaults to two workers;
-it is the regression gate that the executor still honours the
-determinism contract on every push.  Speedups are recorded, not
-asserted: single-core runners legitimately measure ~1x.
+The ``data`` suite times the columnar data plane (DESIGN.md §9) against
+the dict backend — ingest, the Mongo-style query workloads, observation
+assembly, and batch vs scalar feature extraction — asserts that both
+paths return the same documents in the same order and byte-identical
+feature matrices, and writes ``BENCH_data.json``.
+
+``--smoke`` shrinks the workloads to CI size; it is the regression gate
+that the executor and the columnar store still honour their determinism
+contracts on every push.  Speedups are recorded, not asserted:
+single-core runners legitimately measure ~1x on the ml suite.
 """
 
 from __future__ import annotations
@@ -33,7 +40,7 @@ from .ml import (
 from .ml.base import check_array
 from .parallel import resolve_n_jobs, spawn_seeds
 
-__all__ = ["run_bench", "make_bench_dataset"]
+__all__ = ["run_bench", "run_data_bench", "make_bench_dataset"]
 
 
 def _machine_info() -> dict:
@@ -214,6 +221,251 @@ def run_bench(
     print(
         f"  knn predict: loop {t_loop:.3f}s -> vectorised {t_fast:.3f}s "
         f"({payload['knn']['speedup']}x, equal={knn_equal})"
+    )
+
+    with open(out, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+    print(f"wrote {out}")
+
+    for failure in failures:
+        print(f"error: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+# -- data-plane suite (DESIGN.md §9) -----------------------------------------
+
+
+def _make_fast_run_docs(
+    n_installs: int, runs_per_install: int, root_seed: int
+) -> list[dict]:
+    """Deterministic fast-run payloads shaped like the wire records."""
+    (seed,) = spawn_seeds(root_seed, 1)
+    rng = np.random.default_rng(seed)
+    docs: list[dict] = []
+    for i in range(n_installs):
+        install_id = f"inst{i:05d}"
+        for r in range(runs_per_install):
+            start = float(r) * 120.0 + float(rng.random())
+            docs.append(
+                {
+                    "install_id": install_id,
+                    "participant_id": str(100_000 + i),
+                    "start": start,
+                    "end": start + 100.0,
+                    "period": 5.0,
+                    "foreground": (
+                        None
+                        if rng.random() < 0.3
+                        else f"app{int(rng.integers(50))}"
+                    ),
+                    "screen_on": bool(rng.random() < 0.5),
+                    "battery": float(rng.random()),
+                    "usage_permission": True,
+                    "_type": "fast_run",
+                }
+            )
+    return docs
+
+
+def _data_bench_stores(docs: list[dict]):
+    """A dict-backed and a columnar ``fast_runs`` collection, both indexed
+    on install_id, plus per-backend insert_many timings."""
+    from .platform.store import DocumentStore
+
+    collections = {}
+    timings = {}
+    for backend in ("dict", "columnar"):
+        collection = DocumentStore(backend=backend).collection("fast_runs")
+        collection.create_index("install_id")
+        _, elapsed = _timed(collection.insert_many, docs)
+        collections[backend] = collection
+        timings[backend] = elapsed
+    return collections["dict"], collections["columnar"], timings
+
+
+def _query_workloads(docs: list[dict], n_installs: int) -> list[tuple[str, str, object]]:
+    """(label, method, argument) triples covering the query language."""
+    mid = docs[len(docs) // 2]["start"]
+    return [
+        ("equality_indexed", "find", {"install_id": f"inst{(n_installs // 2):05d}"}),
+        ("range_scan", "find", {"start": {"$gte": mid, "$lt": mid + 4000.0}}),
+        ("in_scan", "find", {"foreground": {"$in": ["app1", "app7", "app13"]}}),
+        ("exists_scan", "count", {"foreground": {"$exists": True}}),
+        ("count_eq", "count", {"screen_on": True}),
+        ("distinct", "distinct", "foreground"),
+    ]
+
+
+def run_data_bench(
+    seed: int = 0,
+    smoke: bool = False,
+    out: str = "BENCH_data.json",
+) -> int:
+    """Benchmark the columnar data plane against the dict backend.
+
+    Returns non-zero if any backend pair disagrees on query results or
+    any batch feature matrix differs from the scalar path by a byte.
+    """
+    from .core.app_features import app_feature_matrix, app_feature_vector
+    from .core.device_features import device_feature_matrix, device_feature_vector
+    from .core.observations import build_observations
+    from .simulation.config import SimulationConfig
+    from .simulation.world import run_study
+
+    n_installs, runs_per_install, query_rounds = (
+        (40, 12, 3) if smoke else (200, 50, 10)
+    )
+    failures: list[str] = []
+    payload: dict = {
+        "machine": _machine_info(),
+        "smoke": smoke,
+        "seed": seed,
+        "queries": [],
+    }
+
+    # 1. Ingest: insert_many into an indexed collection, per backend.
+    docs = _make_fast_run_docs(n_installs, runs_per_install, seed)
+    dict_col, columnar_col, ingest = _data_bench_stores(docs)
+    ingest_equal = dict_col.find() == columnar_col.find()
+    if not ingest_equal:
+        failures.append("ingest: backends disagree on stored documents")
+    payload["ingest"] = {
+        "documents": len(docs),
+        "dict_seconds": round(ingest["dict"], 4),
+        "columnar_seconds": round(ingest["columnar"], 4),
+        "outputs_equal": ingest_equal,
+    }
+    print(
+        f"bench data: ingest {len(docs)} docs: dict {ingest['dict']:.3f}s, "
+        f"columnar {ingest['columnar']:.3f}s (equal={ingest_equal})"
+    )
+
+    # 2. Query workloads: same operator language on both backends; the
+    # contract is same documents, same order.
+    for label, method, argument in _query_workloads(docs, n_installs):
+        def run_workload(collection):
+            result = None
+            for _ in range(query_rounds):
+                result = getattr(collection, method)(argument)
+            return result
+
+        dict_result, t_dict = _timed(run_workload, dict_col)
+        columnar_result, t_columnar = _timed(run_workload, columnar_col)
+        equal = dict_result == columnar_result
+        if not equal:
+            failures.append(f"query[{label}]: backends disagree")
+        payload["queries"].append(
+            {
+                "workload": label,
+                "rounds": query_rounds,
+                "dict_seconds": round(t_dict, 4),
+                "columnar_seconds": round(t_columnar, 4),
+                "speedup": _speedup(t_dict, t_columnar),
+                "outputs_equal": equal,
+            }
+        )
+        print(
+            f"  query {label:>16}: dict {t_dict:7.3f}s -> columnar "
+            f"{t_columnar:7.3f}s ({_speedup(t_dict, t_columnar)}x, equal={equal})"
+        )
+
+    # 3. End-to-end: simulate once per backend, then time observation
+    # assembly (per-install queries vs one-pass frame partitions).
+    config = SimulationConfig.small() if smoke else SimulationConfig()
+    config = config.scaled(seed=config.seed + seed)
+    data_dict = run_study(config.scaled(store_backend="dict"))
+    data_columnar = run_study(config.scaled(store_backend="columnar"))
+    obs_dict, t_dict = _timed(
+        build_observations, data_dict, data_dict.eligible_participants(min_days=2)
+    )
+    obs_columnar, t_columnar = _timed(
+        build_observations,
+        data_columnar,
+        data_columnar.eligible_participants(min_days=2),
+    )
+    payload["observations"] = {
+        "devices": len(obs_columnar),
+        "dict_seconds": round(t_dict, 4),
+        "columnar_seconds": round(t_columnar, 4),
+        "speedup": _speedup(t_dict, t_columnar),
+    }
+    print(
+        f"  observations ({len(obs_columnar)} devices): dict {t_dict:.3f}s -> "
+        f"columnar {t_columnar:.3f}s ({payload['observations']['speedup']}x)"
+    )
+
+    # 4. Feature extraction: scalar per-(app, device) loops vs batch
+    # column slices.  Must be byte-identical (DESIGN.md §9), and the two
+    # backends must agree.  Warm the VT cache first so neither timed
+    # path pays the one-time scan cost.
+    packages_per_obs = [
+        (obs, sorted(obs.observed_packages)) for obs in obs_columnar
+    ]
+    for obs_, packages in packages_per_obs:
+        app_feature_matrix(obs_, packages, data_columnar.catalog, data_columnar.vt_client)
+
+    def scalar_app_pass():
+        return [
+            np.vstack(
+                [
+                    app_feature_vector(
+                        obs_, p, data_columnar.catalog, data_columnar.vt_client
+                    )
+                    for p in packages
+                ]
+            )
+            for obs_, packages in packages_per_obs
+            if packages
+        ]
+
+    def batch_app_pass():
+        return [
+            app_feature_matrix(
+                obs_, packages, data_columnar.catalog, data_columnar.vt_client
+            )
+            for obs_, packages in packages_per_obs
+            if packages
+        ]
+
+    scalar_blocks, t_scalar = _timed(scalar_app_pass)
+    batch_blocks, t_batch = _timed(batch_app_pass)
+    n_rows = int(sum(len(block) for block in batch_blocks))
+    app_equal = all(
+        s.tobytes() == b.tobytes() for s, b in zip(scalar_blocks, batch_blocks)
+    )
+    if not app_equal:
+        failures.append("features[app]: batch matrix differs from scalar rows")
+    payload["app_features"] = {
+        "rows": n_rows,
+        "scalar_seconds": round(t_scalar, 4),
+        "batch_seconds": round(t_batch, 4),
+        "speedup": _speedup(t_scalar, t_batch),
+        "outputs_equal": app_equal,
+    }
+    print(
+        f"  app features ({n_rows} rows): scalar {t_scalar:.3f}s -> batch "
+        f"{t_batch:.3f}s ({payload['app_features']['speedup']}x, equal={app_equal})"
+    )
+
+    def scalar_device_pass():
+        return np.vstack([device_feature_vector(o, None) for o in obs_columnar])
+
+    scalar_device, t_scalar = _timed(scalar_device_pass)
+    batch_device, t_batch = _timed(device_feature_matrix, obs_columnar)
+    device_equal = scalar_device.tobytes() == batch_device.tobytes()
+    if not device_equal:
+        failures.append("features[device]: batch matrix differs from scalar rows")
+    payload["device_features"] = {
+        "rows": len(obs_columnar),
+        "scalar_seconds": round(t_scalar, 4),
+        "batch_seconds": round(t_batch, 4),
+        "speedup": _speedup(t_scalar, t_batch),
+        "outputs_equal": device_equal,
+    }
+    print(
+        f"  device features ({len(obs_columnar)} rows): scalar {t_scalar:.3f}s "
+        f"-> batch {t_batch:.3f}s "
+        f"({payload['device_features']['speedup']}x, equal={device_equal})"
     )
 
     with open(out, "w") as handle:

@@ -12,8 +12,9 @@ Commands
 ``export-figures``  write the raw series behind each figure as CSV
 ``profile``     run a full study + report with tracing on; print the
                 span-tree timing report and the top-N slowest spans
-``bench``       time CV/forest/KNN workloads serial vs parallel, assert
-                output equality, and write BENCH_ml.json
+``bench``       speedup/determinism suites: ``ml`` (CV/forest/KNN serial
+                vs parallel -> BENCH_ml.json), ``data`` (columnar data
+                plane vs dict backend -> BENCH_data.json), or ``all``
 ``lint``        run the repro.statan static analyzer (determinism &
                 invariants rules) over the source tree
 
@@ -108,13 +109,23 @@ def build_parser() -> argparse.ArgumentParser:
     add_metrics_out(profile)
 
     bench = sub.add_parser(
-        "bench", help="serial-vs-parallel ML benchmark; writes BENCH_ml.json"
+        "bench",
+        help="speedup/determinism benchmarks; writes BENCH_<suite>.json",
+    )
+    bench.add_argument(
+        "suite", nargs="?", choices=("ml", "data", "all"), default="ml",
+        help="ml: serial-vs-parallel ML workloads; data: columnar "
+        "data plane vs dict backend; all: both (default: ml)",
     )
     bench.add_argument(
         "--smoke", action="store_true",
-        help="CI-sized workload (defaults to two workers)",
+        help="CI-sized workload (ml suite defaults to two workers)",
     )
-    bench.add_argument("--out", default="BENCH_ml.json", help="output path")
+    bench.add_argument(
+        "--out", default=None,
+        help="output path (default: BENCH_ml.json / BENCH_data.json; "
+        "only valid for a single suite)",
+    )
 
     classify = sub.add_parser("classify", help="scan a fresh cohort with exported models")
     classify.add_argument("--models", default="detectors.json", help="exported models path")
@@ -309,14 +320,27 @@ def _cmd_profile(args) -> int:
 
 
 def _cmd_bench(args) -> int:
-    from .benchmark import run_bench
+    from .benchmark import run_bench, run_data_bench
 
-    return run_bench(
-        seed=args.seed if args.seed is not None else 0,
-        n_jobs=args.n_jobs,
-        smoke=args.smoke,
-        out=args.out,
-    )
+    seed = args.seed if args.seed is not None else 0
+    if args.suite == "all" and args.out is not None:
+        print("error: --out is ambiguous with suite 'all'", file=sys.stderr)
+        return 2
+    code = 0
+    if args.suite in ("ml", "all"):
+        code |= run_bench(
+            seed=seed,
+            n_jobs=args.n_jobs,
+            smoke=args.smoke,
+            out=args.out or "BENCH_ml.json",
+        )
+    if args.suite in ("data", "all"):
+        code |= run_data_bench(
+            seed=seed,
+            smoke=args.smoke,
+            out=args.out or "BENCH_data.json",
+        )
+    return code
 
 
 def _cmd_export_figures(args) -> int:

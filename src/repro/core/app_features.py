@@ -40,7 +40,13 @@ from .observations import DeviceObservation
 #: the longest wait the paper observed (606 days).
 NEVER_REVIEWED_SENTINEL_DAYS = 999.0
 
-__all__ = ["APP_FEATURE_NAMES", "NEVER_REVIEWED_SENTINEL_DAYS", "extract_app_features", "app_feature_vector"]
+__all__ = [
+    "APP_FEATURE_NAMES",
+    "NEVER_REVIEWED_SENTINEL_DAYS",
+    "extract_app_features",
+    "app_feature_vector",
+    "app_feature_matrix",
+]
 
 APP_FEATURE_NAMES: tuple[str, ...] = (
     "accounts_reviewed_before",      # (1)
@@ -176,3 +182,165 @@ def app_feature_vector(
     """Feature dict flattened into the canonical APP_FEATURE_NAMES order."""
     features = extract_app_features(obs, package, catalog, vt_client)
     return np.array([features[name] for name in APP_FEATURE_NAMES], dtype=np.float64)
+
+
+_COLUMN = {name: i for i, name in enumerate(APP_FEATURE_NAMES)}
+
+
+def app_feature_matrix(
+    obs: DeviceObservation,
+    packages: list[str],
+    catalog: Catalog,
+    vt_client: VirusTotalClient | None = None,
+) -> np.ndarray:
+    """All of a device's (app, device) feature rows in one pass.
+
+    Byte-identical to stacking :func:`app_feature_vector` over
+    ``packages`` (the DESIGN.md §9 contract): every float is produced
+    by the same IEEE operations on the same operands in the same order.
+    The speedup comes from hoisting the per-device work the scalar path
+    repeats per row — the ``initial_apps`` permission scan and
+    ``app_changes`` scans collapse into single-pass lookup tables, the
+    review-gap statistics run on numpy slices, and retention windows,
+    usage rates and event counts fill whole columns at once.
+    """
+    n = len(packages)
+    M = np.empty((n, len(APP_FEATURE_NAMES)), dtype=np.float64)
+    if n == 0:
+        return M
+    start, end = obs.installed_at, obs.uninstalled_at
+    active_days = max(obs.active_days, 1)
+
+    # -- single-pass lookup tables over the device's records ------------
+    # First initial_apps entry per package (the scalar path's
+    # first-match linear scan), then the *last* install event (its
+    # no-break fallback scan).
+    initial_perm: dict[str, tuple[int, int]] = {}
+    for app_info in obs.initial_apps:
+        initial_perm.setdefault(
+            app_info["package"], (app_info["n_granted"], app_info["n_denied"])
+        )
+    install_perm: dict[str, tuple[int, int]] = {}
+    last_uninstall: dict[str, float] = {}
+    for event in obs.app_changes:
+        if event["action"] == "install":
+            install_perm[event["package"]] = (
+                event.get("n_granted", 0),
+                event.get("n_denied", 0),
+            )
+        elif event["action"] == "uninstall":
+            last_uninstall[event["package"]] = event["timestamp"]
+
+    install_times = obs.install_times
+    apk_hashes = obs.apk_hashes
+    foreground_days = obs.foreground_days
+    foreground_snapshots = obs.foreground_snapshots
+    install_counts = obs.install_event_counts
+    uninstall_counts = obs.uninstall_event_counts
+
+    # -- review timing groups (1)-(3): numpy slices per package ---------
+    for j, package in enumerate(packages):
+        reviews = obs.reviews_for_app(package)
+        # device_reviews lists are (timestamp, review_id)-sorted, so the
+        # timestamp column is the scalar path's sorted(timestamps).
+        timestamps = np.fromiter(
+            (r.timestamp for r in reviews), np.float64, len(reviews)
+        )
+        before: set[str] = set()
+        during: set[str] = set()
+        after: set[str] = set()
+        for review in reviews:
+            if review.timestamp < start:
+                before.add(review.google_id)
+            elif review.timestamp <= end:
+                during.add(review.google_id)
+            else:
+                after.add(review.google_id)
+        M[j, _COLUMN["accounts_reviewed_before"]] = float(len(before))
+        M[j, _COLUMN["accounts_reviewed_during"]] = float(len(during))
+        M[j, _COLUMN["accounts_reviewed_after"]] = float(len(after))
+        M[j, _COLUMN["accounts_reviewed_total"]] = float(
+            len(before | during | after)
+        )
+
+        install_time = install_times.get(package)
+        if install_time is None:
+            i2r = timestamps[:0]
+        else:
+            i2r = (timestamps[timestamps > install_time] - install_time) / SECONDS_PER_DAY
+        M[j, _COLUMN["install_to_review_mean_days"]] = (
+            float(np.mean(i2r)) if i2r.size else NEVER_REVIEWED_SENTINEL_DAYS
+        )
+        M[j, _COLUMN["install_to_review_min_days"]] = (
+            float(np.min(i2r)) if i2r.size else NEVER_REVIEWED_SENTINEL_DAYS
+        )
+
+        gaps = np.diff(timestamps) / SECONDS_PER_DAY
+        M[j, _COLUMN["inter_review_mean_days"]] = (
+            float(np.mean(gaps)) if gaps.size else NEVER_REVIEWED_SENTINEL_DAYS
+        )
+        M[j, _COLUMN["inter_review_min_days"]] = (
+            float(np.min(gaps)) if gaps.size else NEVER_REVIEWED_SENTINEL_DAYS
+        )
+
+    # -- usage (4)-(6): whole columns ------------------------------------
+    M[:, _COLUMN["opened_multiple_days"]] = np.fromiter(
+        (len(foreground_days.get(p, ())) > 1 for p in packages), np.float64, n
+    )
+    onscreen = np.fromiter(
+        (foreground_snapshots.get(p, 0) for p in packages), np.float64, n
+    )
+    M[:, _COLUMN["onscreen_snapshots_per_day"]] = onscreen / active_days
+    M[:, _COLUMN["device_snapshots_per_day"]] = obs.snapshots_per_day
+
+    # -- inner retention (7): vectorized window overlap ------------------
+    has_install_time = np.fromiter(
+        (p in install_times for p in packages), np.bool_, n
+    )
+    install_time_arr = np.fromiter(
+        (install_times.get(p, 0.0) for p in packages), np.float64, n
+    )
+    has_uninstall = np.fromiter(
+        (p in last_uninstall for p in packages), np.bool_, n
+    )
+    uninstall_arr = np.fromiter(
+        (last_uninstall.get(p, 0.0) for p in packages), np.float64, n
+    )
+    seen_from = np.maximum(install_time_arr, start)
+    seen_to = np.where(has_uninstall, np.minimum(uninstall_arr, end), end)
+    retention = np.maximum(0.0, (seen_to - seen_from) / SECONDS_PER_DAY)
+    retention[~has_install_time] = math.nan
+    spans = ((install_time_arr <= start) & ~has_uninstall).astype(np.float64)
+    spans[~has_install_time] = 0.0
+    M[:, _COLUMN["inner_retention_days"]] = retention
+    M[:, _COLUMN["spans_study_window"]] = spans
+
+    # -- permissions (8)-(9) and VT flags (10): table lookups ------------
+    for j, package in enumerate(packages):
+        if package in catalog:
+            profile = catalog.get(package).permissions
+            n_normal, n_dangerous = len(profile.normal), len(profile.dangerous)
+        else:
+            n_normal = n_dangerous = 0
+        granted, denied = initial_perm.get(
+            package, install_perm.get(package, (0, 0))
+        )
+        M[j, _COLUMN["n_normal_permissions"]] = float(n_normal)
+        M[j, _COLUMN["n_dangerous_permissions"]] = float(n_dangerous)
+        M[j, _COLUMN["n_permissions_granted"]] = float(granted)
+        M[j, _COLUMN["n_permissions_denied"]] = float(denied)
+        apk_hash = apk_hashes.get(package)
+        M[j, _COLUMN["vt_flags"]] = (
+            float(vt_client.positives(apk_hash))
+            if vt_client is not None and apk_hash
+            else 0.0
+        )
+
+    # -- install/uninstall events (11): whole columns --------------------
+    M[:, _COLUMN["n_install_events"]] = np.fromiter(
+        (install_counts.get(p, 0) for p in packages), np.float64, n
+    )
+    M[:, _COLUMN["n_uninstall_events"]] = np.fromiter(
+        (uninstall_counts.get(p, 0) for p in packages), np.float64, n
+    )
+    return M

@@ -23,7 +23,12 @@ import numpy as np
 
 from .observations import DeviceObservation
 
-__all__ = ["DEVICE_FEATURE_NAMES", "extract_device_features", "device_feature_vector"]
+__all__ = [
+    "DEVICE_FEATURE_NAMES",
+    "extract_device_features",
+    "device_feature_vector",
+    "device_feature_matrix",
+]
 
 DEVICE_FEATURE_NAMES: tuple[str, ...] = (
     "n_preinstalled_apps",        # (1)
@@ -84,3 +89,41 @@ def device_feature_vector(
     return np.array(
         [features[name] for name in DEVICE_FEATURE_NAMES], dtype=np.float64
     )
+
+
+def device_feature_matrix(
+    observations: list[DeviceObservation],
+    scores: list[float | None] | None = None,
+) -> np.ndarray:
+    """One row per device, rows aligned with ``observations``.
+
+    ``scores[i]`` is device *i*'s app-suspiciousness (``None`` → NaN).
+    Byte-identical to stacking :func:`device_feature_vector` — same
+    python floats, written straight into the matrix in canonical
+    ``DEVICE_FEATURE_NAMES`` order instead of through a dict and a
+    per-row array allocation.
+    """
+    n = len(observations)
+    M = np.empty((n, len(DEVICE_FEATURE_NAMES)), dtype=np.float64)
+    if scores is None:
+        scores = [None] * n
+    for i, (obs, score) in enumerate(zip(observations, scores)):
+        n_accounts = max(obs.n_gmail_accounts, 1)
+        M[i] = (
+            float(obs.n_preinstalled),
+            float(obs.n_user_installed),
+            float(score) if score is not None else math.nan,
+            float(len(obs.stopped_apps_first)),
+            obs.daily_installs,
+            obs.daily_uninstalls,
+            float(obs.n_gmail_accounts),
+            float(obs.n_non_gmail_accounts),
+            float(obs.n_account_types),
+            float(obs.n_installed_and_reviewed),
+            float(obs.apps_reviewed_total),
+            float(obs.total_account_reviews),
+            obs.total_account_reviews / n_accounts,
+            obs.apps_used_per_day,
+            obs.snapshots_per_day,
+        )
+    return M

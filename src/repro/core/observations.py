@@ -11,9 +11,14 @@ quantities the measurements and feature extractors need.
 from __future__ import annotations
 
 from collections import defaultdict
+from collections.abc import Mapping
 from dataclasses import dataclass, field
 from functools import cached_property
 
+import numpy as np
+
+from ..frames import ColumnFrame, FrameRow
+from ..platform.store import ColumnarCollection
 from ..playstore.reviews import Review
 from ..simulation.clock import SECONDS_PER_DAY
 from ..simulation.world import Participant, StudyData
@@ -21,16 +26,81 @@ from ..simulation.world import Participant, StudyData
 __all__ = ["DeviceObservation", "build_observations"]
 
 
+def _partition_runs(
+    frame: ColumnFrame, order_field: str
+) -> dict[str, list[FrameRow]]:
+    """install_id -> zero-copy row views, sorted by ``order_field``.
+
+    One stable argsort over the whole column reproduces, for every
+    install at once, exactly what ``sorted(find({install_id: ...}),
+    key=order_field)`` returns per install: ascending ``order_field``
+    with insertion order breaking ties.
+    """
+    ids = frame.values("install_id")
+    order = np.argsort(frame.column(order_field), kind="stable")
+    partitions: dict[str, list[FrameRow]] = {}
+    for i in order:
+        position = int(i)
+        partitions.setdefault(ids[position], []).append(FrameRow(frame, position))
+    return partitions
+
+
+def _first_rows(frame: ColumnFrame) -> dict[str, FrameRow]:
+    """install_id -> view of its first inserted row (``find_one``)."""
+    ids = frame.values("install_id")
+    first: dict[str, FrameRow] = {}
+    for position in range(len(frame)):
+        first.setdefault(ids[position], FrameRow(frame, position))
+    return first
+
+
+def _snapshot_getters(data: StudyData):
+    """Per-install accessors for (initial, slow, fast, app_changes).
+
+    Columnar store: one pass per collection builds every install's
+    zero-copy view list.  Dict store: fall back to the server's indexed
+    per-install queries.  Both yield rows in identical order.
+    """
+    server = data.server
+    names = ("initial_snapshots", "slow_runs", "fast_runs", "app_changes")
+    collections = [server.store[name] for name in names]
+    if not all(isinstance(c, ColumnarCollection) for c in collections):
+        return (
+            server.initial_snapshot,
+            server.slow_runs,
+            server.fast_runs,
+            server.app_changes,
+        )
+    initial_c, slow_c, fast_c, changes_c = collections
+    initial_map = _first_rows(initial_c.frame)
+    slow_map = _partition_runs(slow_c.frame, "start")
+    fast_map = _partition_runs(fast_c.frame, "start")
+    change_map = _partition_runs(changes_c.frame, "timestamp")
+    return (
+        initial_map.get,
+        lambda install_id: slow_map.get(install_id, []),
+        lambda install_id: fast_map.get(install_id, []),
+        lambda install_id: change_map.get(install_id, []),
+    )
+
+
 @dataclass
 class DeviceObservation:
-    """All collected data for one device, with derived accessors."""
+    """All collected data for one device, with derived accessors.
+
+    The snapshot rows are read-only mappings: plain dicts when the
+    store runs the dict backend, zero-copy
+    :class:`~repro.frames.FrameRow` views over the ingest frames when
+    it runs the columnar backend.  Every accessor treats them
+    identically.
+    """
 
     participant: Participant
     install_id: str
-    initial: dict | None
-    slow_runs: list[dict]
-    fast_runs: list[dict]
-    app_changes: list[dict]
+    initial: Mapping | None
+    slow_runs: list[Mapping]
+    fast_runs: list[Mapping]
+    app_changes: list[Mapping]
     #: Google IDs of the Gmail accounts seen in slow snapshots, resolved
     #: through the ID crawler (§5).
     google_ids: frozenset[str]
@@ -311,19 +381,19 @@ def build_observations(
     backend (§5).
     """
     participants = participants if participants is not None else data.participants
+    initial_for, slow_for, fast_for, changes_for = _snapshot_getters(data)
     observations: list[DeviceObservation] = []
     for participant in participants:
         install_id = participant.app.install_id
         if install_id is None:
             continue
-        slow_runs = data.server.slow_runs(install_id)
         obs = DeviceObservation(
             participant=participant,
             install_id=install_id,
-            initial=data.server.initial_snapshot(install_id),
-            slow_runs=slow_runs,
-            fast_runs=data.server.fast_runs(install_id),
-            app_changes=data.server.app_changes(install_id),
+            initial=initial_for(install_id),
+            slow_runs=slow_for(install_id),
+            fast_runs=fast_for(install_id),
+            app_changes=changes_for(install_id),
             google_ids=frozenset(),
         )
         # Resolve Gmail -> Google ID through the crawler.

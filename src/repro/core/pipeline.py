@@ -16,14 +16,14 @@ import numpy as np
 from .. import obs
 from ..simulation.world import StudyData
 from .app_classifier import AppClassifier, AppClassifierEvaluation, evaluate_app_algorithms
-from .app_features import app_feature_vector
+from .app_features import app_feature_matrix, app_feature_vector
 from .datasets import AppDataset, DeviceDataset, build_app_dataset, build_device_dataset
 from .device_classifier import (
     DeviceClassifier,
     DeviceClassifierEvaluation,
     evaluate_device_algorithms,
 )
-from .device_features import device_feature_vector
+from .device_features import device_feature_matrix
 from .labeling import LabelingConfig
 from .observations import DeviceObservation, build_observations
 
@@ -86,7 +86,12 @@ class DetectionPipeline:
         app_resample: str | None = None,
         random_state: int = 0,
         n_jobs: int | None = None,
+        features: str = "batch",
     ) -> None:
+        if features not in ("batch", "scalar"):
+            raise ValueError(
+                f"features must be 'batch' or 'scalar', got {features!r}"
+            )
         self.labeling = labeling
         self.app_cv_repeats = app_cv_repeats
         self.device_cv_repeats = device_cv_repeats
@@ -95,6 +100,9 @@ class DetectionPipeline:
         self.app_resample = app_resample
         self.random_state = random_state
         self.n_jobs = n_jobs
+        #: Feature-extraction path ("batch" column slices vs per-row
+        #: "scalar"); byte-identical outputs either way (DESIGN.md §9).
+        self.features = features
 
     def run(self, data: StudyData) -> PipelineResult:
         with obs.trace("pipeline"):
@@ -108,7 +116,9 @@ class DetectionPipeline:
         # is clamped to the minority-class size so tiny (e.g. evasion-
         # scenario) cohorts still cross-validate.
         with obs.trace("pipeline.app_dataset"):
-            app_dataset = build_app_dataset(data, observations, self.labeling)
+            app_dataset = build_app_dataset(
+                data, observations, self.labeling, features=self.features
+            )
         app_splits = max(
             2, min(self.n_splits, app_dataset.n_suspicious, app_dataset.n_regular)
         )
@@ -125,11 +135,15 @@ class DetectionPipeline:
 
         # Score every device's installed apps -> suspiciousness feature.
         with obs.trace("pipeline.score_devices"):
-            suspiciousness = self.score_devices(data, observations, app_model)
+            suspiciousness = self.score_devices(
+                data, observations, app_model, features=self.features
+            )
 
         # §8: device classifier with the suspiciousness feature wired in.
         with obs.trace("pipeline.device_dataset"):
-            device_dataset = build_device_dataset(data, observations, suspiciousness)
+            device_dataset = build_device_dataset(
+                data, observations, suspiciousness, features=self.features
+            )
         device_splits = max(
             2, min(self.n_splits, device_dataset.n_worker, device_dataset.n_regular)
         )
@@ -165,6 +179,7 @@ class DetectionPipeline:
         data: StudyData,
         observations: list[DeviceObservation],
         app_model: AppClassifier,
+        features: str = "batch",
     ) -> dict[str, float]:
         """install_id -> fraction of user-installed apps flagged as
         promotion-installed by the app classifier (§8.1 feature (2))."""
@@ -183,12 +198,15 @@ class DetectionPipeline:
             if not packages:
                 suspiciousness[obs.install_id] = 0.0
                 continue
-            X = np.vstack(
-                [
-                    app_feature_vector(obs, package, data.catalog, data.vt_client)
-                    for package in packages
-                ]
-            )
+            if features == "batch":
+                X = app_feature_matrix(obs, packages, data.catalog, data.vt_client)
+            else:
+                X = np.vstack(
+                    [
+                        app_feature_vector(obs, package, data.catalog, data.vt_client)
+                        for package in packages
+                    ]
+                )
             suspiciousness[obs.install_id] = app_model.flag_fraction(X)
         return suspiciousness
 
@@ -200,10 +218,13 @@ class DetectionPipeline:
         suspiciousness: dict[str, float],
     ) -> list[DeviceVerdict]:
         verdicts = []
-        for obs in observations:
-            score = suspiciousness.get(obs.install_id, 0.0)
-            x = device_feature_vector(obs, score)
-            proba = device_model.predict_proba(x)[0]
+        scores = [suspiciousness.get(o.install_id, 0.0) for o in observations]
+        X = device_feature_matrix(observations, scores)
+        for i, obs in enumerate(observations):
+            score = scores[i]
+            # Per-row predict keeps the probability arithmetic identical
+            # to the pre-batch path regardless of the model's internals.
+            proba = device_model.predict_proba(X[i])[0]
             worker_col = int(np.nonzero(device_model._model.classes_ == 1)[0][0])
             p_worker = float(proba[worker_col])
             verdicts.append(

@@ -1,0 +1,45 @@
+"""``repro.frames`` — the typed columnar data plane.
+
+The server ingests snapshot records as dicts; at paper scale (58.3M
+snapshots, §3) a dict-per-document store and per-row feature loops are
+the dominant cost of everything §6–§8 computes.  This package declares
+the record schemas for the snapshot families the platform handles and
+provides :class:`ColumnFrame`, a struct-of-arrays container built on
+numpy: documents append into per-field columns, queries compile to
+vectorized boolean masks (:mod:`repro.frames.query`), and analyses read
+zero-copy :class:`FrameRow` mapping views instead of materialized dicts.
+
+The hard contract of the data plane (DESIGN.md §9): every consumer —
+feature matrices, labels, experiment reports — must be byte-identical
+whether it runs over dicts or over frames.
+"""
+
+from .frame import ColumnFrame, FrameRow
+from .query import QUERY_OPERATORS, mask_for
+from .schema import (
+    APP_CHANGE_SCHEMA,
+    FAST_RUN_SCHEMA,
+    INITIAL_SCHEMA,
+    INSTALL_SCHEMA,
+    REVIEW_SCHEMA,
+    SCHEMA_BY_COLLECTION,
+    SLOW_RUN_SCHEMA,
+    Field,
+    RecordSchema,
+)
+
+__all__ = [
+    "ColumnFrame",
+    "FrameRow",
+    "mask_for",
+    "QUERY_OPERATORS",
+    "Field",
+    "RecordSchema",
+    "SLOW_RUN_SCHEMA",
+    "FAST_RUN_SCHEMA",
+    "APP_CHANGE_SCHEMA",
+    "INITIAL_SCHEMA",
+    "INSTALL_SCHEMA",
+    "REVIEW_SCHEMA",
+    "SCHEMA_BY_COLLECTION",
+]

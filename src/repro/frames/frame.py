@@ -1,0 +1,233 @@
+"""Struct-of-arrays record container.
+
+A :class:`ColumnFrame` holds N records as per-field columns instead of
+N dicts.  Values are kept as python objects in per-column lists (the
+source of truth, so a reconstructed row is exactly what was appended —
+same objects for nested values, bit-identical scalars) and materialize
+on demand into cached numpy arrays for vectorized query masks and batch
+feature extraction.  Appends invalidate the array caches; reads are
+amortized O(1) per column.
+
+Frames come in two modes:
+
+* **typed** — constructed with a :class:`~repro.frames.schema.RecordSchema`;
+  every record must carry exactly the schema's fields.  Numeric fields
+  materialize as ``float64``/``int64``/``bool_`` columns.
+* **generic** — no schema; columns are discovered from the documents
+  (in first-seen order, which is deterministic: it follows document
+  insertion order, never set iteration) and key *absence* is tracked
+  per cell so ``$exists`` can distinguish a missing key from an
+  explicit ``None``.
+
+:class:`FrameRow` is a zero-copy read-only mapping view of one row,
+usable anywhere a document dict is read (``row["field"]``,
+``row.get(...)``, ``{**row}``).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Mapping
+from typing import Any
+
+import numpy as np
+
+from .schema import RecordSchema
+
+__all__ = ["ColumnFrame", "FrameRow", "SchemaMismatchError"]
+
+#: Cell marker for "this document did not carry the key" (generic mode).
+_ABSENT = object()
+
+_NUMPY_DTYPES = {"float": np.float64, "int": np.int64, "bool": np.bool_}
+
+
+class SchemaMismatchError(ValueError):
+    """A document does not carry exactly the schema's fields."""
+
+
+class FrameRow(Mapping):
+    """Read-only mapping view of one frame row (no dict materialized)."""
+
+    __slots__ = ("_frame", "_index")
+
+    def __init__(self, frame: "ColumnFrame", index: int) -> None:
+        self._frame = frame
+        self._index = index
+
+    def __getitem__(self, key: str) -> Any:
+        return self._frame.cell(key, self._index)
+
+    def __iter__(self) -> Iterator[str]:
+        return self._frame.row_keys(self._index)
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self._frame.row_keys(self._index))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FrameRow({dict(self)!r})"
+
+
+class ColumnFrame:
+    """Columnar storage for homogeneous (typed) or ad-hoc (generic) records."""
+
+    def __init__(self, schema: RecordSchema | None = None) -> None:
+        self.schema = schema
+        self._length = 0
+        self._columns: dict[str, list] = {}
+        self._array_cache: dict[str, np.ndarray] = {}
+        self._present_cache: dict[str, np.ndarray] = {}
+        if schema is not None:
+            for field in schema.fields:
+                self._columns[field.name] = []
+            self._field_names = frozenset(schema.field_names)
+        else:
+            self._field_names = frozenset()
+
+    # -- writes ---------------------------------------------------------
+    def append(self, document: Mapping) -> None:
+        if self.schema is not None:
+            if document.keys() != self._field_names:
+                raise SchemaMismatchError(
+                    f"document keys {sorted(document.keys())} do not match "
+                    f"schema {self.schema.name!r} fields"
+                )
+            for name, column in self._columns.items():
+                column.append(document[name])
+        else:
+            for key in document:
+                if key not in self._columns:
+                    # Backfill: rows appended before this key was first
+                    # seen did not carry it.
+                    self._columns[key] = [_ABSENT] * self._length
+            for name, column in self._columns.items():
+                column.append(document.get(name, _ABSENT))
+        self._length += 1
+        if self._array_cache:
+            self._array_cache.clear()
+        if self._present_cache:
+            self._present_cache.clear()
+
+    def extend(self, documents) -> int:
+        count = 0
+        for document in documents:
+            self.append(document)
+            count += 1
+        return count
+
+    # -- basic reads ----------------------------------------------------
+    def __len__(self) -> int:
+        return self._length
+
+    def column_names(self) -> tuple[str, ...]:
+        return tuple(self._columns)
+
+    def has_column(self, name: str) -> bool:
+        return name in self._columns
+
+    def values(self, name: str) -> list:
+        """The raw value list backing one column (do not mutate)."""
+        return self._columns[name]
+
+    def cell(self, name: str, index: int) -> Any:
+        """One cell; raises ``KeyError`` for an absent key (like a dict)."""
+        column = self._columns.get(name)
+        if column is None:
+            raise KeyError(name)
+        value = column[index]
+        if value is _ABSENT:
+            raise KeyError(name)
+        return value
+
+    def cell_or_none(self, name: str, index: int) -> Any:
+        """One cell; absent keys and unknown columns read as ``None``
+        (the ``dict.get`` view every query operator except ``$exists``
+        sees)."""
+        column = self._columns.get(name)
+        if column is None:
+            return None
+        value = column[index]
+        return None if value is _ABSENT else value
+
+    def row_keys(self, index: int) -> Iterator[str]:
+        for name, column in self._columns.items():
+            if column[index] is not _ABSENT:
+                yield name
+
+    def row(self, index: int) -> dict:
+        """Materialize one row as a dict (schema/first-seen key order)."""
+        return {
+            name: column[index]
+            for name, column in self._columns.items()
+            if column[index] is not _ABSENT
+        }
+
+    def view(self, index: int) -> FrameRow:
+        return FrameRow(self, index)
+
+    # -- numpy materialization -----------------------------------------
+    def column(self, name: str) -> np.ndarray:
+        """The column as a numpy array (cached until the next append).
+
+        Typed non-nullable ``float``/``int``/``bool`` fields come back
+        with their native dtype; everything else is an ``object`` array
+        in which absent cells read as ``None`` (mirroring ``dict.get``).
+        An unknown column reads as all-``None``.
+        """
+        cached = self._array_cache.get(name)
+        if cached is not None:
+            return cached
+        values = self._columns.get(name)
+        if values is None:
+            array = np.full(self._length, None, dtype=object)
+        else:
+            dtype = self._native_dtype(name)
+            if dtype is not None:
+                array = np.asarray(values, dtype=dtype)
+            else:
+                array = np.empty(self._length, dtype=object)
+                for i, value in enumerate(values):
+                    array[i] = None if value is _ABSENT else value
+        self._array_cache[name] = array
+        return array
+
+    def present(self, name: str) -> np.ndarray:
+        """Boolean mask of rows whose document carried ``name`` at all."""
+        cached = self._present_cache.get(name)
+        if cached is not None:
+            return cached
+        values = self._columns.get(name)
+        if values is None:
+            mask = np.zeros(self._length, dtype=bool)
+        elif self.schema is not None:
+            mask = np.ones(self._length, dtype=bool)
+        else:
+            mask = np.fromiter(
+                (value is not _ABSENT for value in values), np.bool_, self._length
+            )
+        self._present_cache[name] = mask
+        return mask
+
+    def cells(self, name: str) -> Iterator[Any]:
+        """Iterate effective cell values (absent/unknown keys -> ``None``)."""
+        values = self._columns.get(name)
+        if values is None:
+            return iter([None] * self._length)
+        return (None if value is _ABSENT else value for value in values)
+
+    def _native_dtype(self, name: str):
+        if self.schema is None or name not in self.schema:
+            return None
+        field = self.schema.field(name)
+        if field.nullable:
+            return None
+        return _NUMPY_DTYPES.get(field.kind)
+
+    def native_kind(self, name: str) -> str | None:
+        """The schema kind when the column materializes with a native
+        numpy dtype (``float``/``int``/``bool``); ``None`` otherwise."""
+        if self.schema is None or name not in self.schema:
+            return None
+        field = self.schema.field(name)
+        if field.nullable:
+            return "str" if field.kind == "str" else None
+        return field.kind if field.kind != "object" else None

@@ -1,0 +1,117 @@
+"""Compile Mongo-style queries to vectorized boolean masks over a frame.
+
+The operator language is exactly the document store's (``$eq``, ``$ne``,
+``$gt``, ``$gte``, ``$lt``, ``$lte``, ``$in``, ``$exists``) with the
+same semantics, including the corner cases:
+
+* a missing key reads as ``None`` for every operator except ``$exists``,
+  which tests key *presence* (so ``field: None`` satisfies
+  ``{"$exists": True}`` while an absent key does not);
+* ordering operators never match ``None``;
+* comparing incomparable types raises ``TypeError`` exactly where the
+  per-document path would.
+
+Numeric typed columns compare as whole numpy arrays; string columns use
+elementwise object comparison; everything else falls back to a single
+python pass with the scalar semantics above.  Either way one call
+produces the complete row mask — no per-document dict probing.
+"""
+
+from __future__ import annotations
+
+import operator
+
+import numpy as np
+
+from .frame import ColumnFrame
+
+__all__ = ["mask_for", "QUERY_OPERATORS"]
+
+#: The operator names this compiler understands (the store's language).
+QUERY_OPERATORS = ("$eq", "$ne", "$gt", "$gte", "$lt", "$lte", "$in", "$exists")
+
+_ORDERING = {
+    "$gt": operator.gt,
+    "$gte": operator.ge,
+    "$lt": operator.lt,
+    "$lte": operator.le,
+}
+_ORDERING_UFUNC = {
+    "$gt": np.greater,
+    "$gte": np.greater_equal,
+    "$lt": np.less,
+    "$lte": np.less_equal,
+}
+
+_NUMERIC_KINDS = ("float", "int", "bool")
+
+
+def _vector_comparable(frame: ColumnFrame, fieldname: str, operand) -> bool:
+    """Whether ``column <op> operand`` is safe as one numpy expression."""
+    kind = frame.native_kind(fieldname)
+    if kind in _NUMERIC_KINDS:
+        return isinstance(operand, (int, float, bool)) and not isinstance(
+            operand, np.ndarray
+        )
+    if kind == "str":
+        return isinstance(operand, str)
+    return False
+
+
+def _eq_mask(frame: ColumnFrame, fieldname: str, operand) -> np.ndarray:
+    if _vector_comparable(frame, fieldname, operand):
+        return frame.column(fieldname) == operand
+    return np.fromiter(
+        (value == operand for value in frame.cells(fieldname)),
+        np.bool_,
+        len(frame),
+    )
+
+
+def _ordering_mask(
+    frame: ColumnFrame, fieldname: str, op: str, operand
+) -> np.ndarray:
+    if _vector_comparable(frame, fieldname, operand):
+        return _ORDERING_UFUNC[op](frame.column(fieldname), operand)
+    compare = _ORDERING[op]
+    return np.fromiter(
+        (
+            value is not None and compare(value, operand)
+            for value in frame.cells(fieldname)
+        ),
+        np.bool_,
+        len(frame),
+    )
+
+
+def _op_mask(frame: ColumnFrame, fieldname: str, op: str, operand) -> np.ndarray:
+    if op == "$exists":
+        present = frame.present(fieldname)
+        return present if operand else ~present
+    if op == "$eq":
+        return _eq_mask(frame, fieldname, operand)
+    if op == "$ne":
+        return ~_eq_mask(frame, fieldname, operand)
+    if op == "$in":
+        return np.fromiter(
+            (value in operand for value in frame.cells(fieldname)),
+            np.bool_,
+            len(frame),
+        )
+    if op in _ORDERING:
+        return _ordering_mask(frame, fieldname, op, operand)
+    raise ValueError(f"unknown query operator {op!r}")
+
+
+def mask_for(frame: ColumnFrame, query: dict | None) -> np.ndarray:
+    """Boolean row mask of the documents matching ``query``."""
+    mask = np.ones(len(frame), dtype=bool)
+    for fieldname, condition in (query or {}).items():
+        if isinstance(condition, dict) and any(
+            key.startswith("$") for key in condition
+        ):
+            for op, operand in condition.items():
+                mask &= _op_mask(frame, fieldname, op, operand)
+        else:
+            mask &= _eq_mask(frame, fieldname, condition)
+    return mask

@@ -1,0 +1,181 @@
+"""Declared record schemas for the platform's snapshot families.
+
+One :class:`RecordSchema` per wire record type the server ingests
+(§3: initial, slow run, fast run, app change), plus the sign-in
+``installs`` registry and the Play review records the crawlers join
+against.  Field order matches the dataclasses in
+:mod:`repro.platform.models` (with the ``_type`` wire tag last), so a
+row reconstructed from a frame carries its keys in the same order as
+the ingested payload dict.
+
+Kinds map to numpy column dtypes:
+
+========  =================================================
+kind      column dtype
+========  =================================================
+float     ``float64`` (``object`` when the field is nullable)
+int       ``int64``
+bool      ``bool_``
+str       ``object`` (python strings; nullable allowed)
+object    ``object`` (nested lists / dicts, kept by reference)
+========  =================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "Field",
+    "RecordSchema",
+    "SLOW_RUN_SCHEMA",
+    "FAST_RUN_SCHEMA",
+    "APP_CHANGE_SCHEMA",
+    "INITIAL_SCHEMA",
+    "INSTALL_SCHEMA",
+    "REVIEW_SCHEMA",
+    "SCHEMA_BY_COLLECTION",
+]
+
+_KINDS = ("float", "int", "bool", "str", "object")
+
+
+@dataclass(frozen=True)
+class Field:
+    """One column of a record schema."""
+
+    name: str
+    kind: str
+    nullable: bool = False
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KINDS:
+            raise ValueError(f"unknown field kind {self.kind!r}")
+
+    @property
+    def sortable(self) -> bool:
+        """Whether a column-sorted index can be built on this field."""
+        return self.kind in ("float", "int", "str") and not self.nullable
+
+
+@dataclass(frozen=True)
+class RecordSchema:
+    """A named, ordered set of typed fields."""
+
+    name: str
+    fields: tuple[Field, ...]
+
+    def __post_init__(self) -> None:
+        names = [f.name for f in self.fields]
+        if len(names) != len(set(names)):
+            raise ValueError(f"duplicate field names in schema {self.name!r}")
+
+    @property
+    def field_names(self) -> tuple[str, ...]:
+        return tuple(f.name for f in self.fields)
+
+    def field(self, name: str) -> Field:
+        for f in self.fields:
+            if f.name == name:
+                return f
+        raise KeyError(name)
+
+    def __contains__(self, name: str) -> bool:
+        return any(f.name == name for f in self.fields)
+
+
+SLOW_RUN_SCHEMA = RecordSchema(
+    "slow_run",
+    (
+        Field("install_id", "str"),
+        Field("participant_id", "str"),
+        Field("android_id", "str", nullable=True),
+        Field("start", "float"),
+        Field("end", "float"),
+        Field("period", "float"),
+        Field("accounts", "object"),
+        Field("save_mode", "bool"),
+        Field("stopped_apps", "object"),
+        Field("accounts_permission", "bool"),
+        Field("_type", "str"),
+    ),
+)
+
+FAST_RUN_SCHEMA = RecordSchema(
+    "fast_run",
+    (
+        Field("install_id", "str"),
+        Field("participant_id", "str"),
+        Field("start", "float"),
+        Field("end", "float"),
+        Field("period", "float"),
+        Field("foreground", "str", nullable=True),
+        Field("screen_on", "bool"),
+        Field("battery", "float"),
+        Field("usage_permission", "bool"),
+        Field("_type", "str"),
+    ),
+)
+
+APP_CHANGE_SCHEMA = RecordSchema(
+    "app_change",
+    (
+        Field("install_id", "str"),
+        Field("participant_id", "str"),
+        Field("timestamp", "float"),
+        Field("action", "str"),
+        Field("package", "str"),
+        Field("install_time", "float", nullable=True),
+        Field("apk_hash", "str", nullable=True),
+        Field("n_granted", "int"),
+        Field("n_denied", "int"),
+        Field("n_normal_permissions", "int"),
+        Field("n_dangerous_permissions", "int"),
+        Field("_type", "str"),
+    ),
+)
+
+INITIAL_SCHEMA = RecordSchema(
+    "initial",
+    (
+        Field("install_id", "str"),
+        Field("participant_id", "str"),
+        Field("android_id", "str", nullable=True),
+        Field("api_level", "int"),
+        Field("model", "str"),
+        Field("manufacturer", "str"),
+        Field("timestamp", "float"),
+        Field("installed_apps", "object"),
+        Field("_type", "str"),
+    ),
+)
+
+INSTALL_SCHEMA = RecordSchema(
+    "install",
+    (
+        Field("install_id", "str"),
+        Field("participant_id", "str"),
+        Field("android_id", "str", nullable=True),
+        Field("registered_at", "float"),
+    ),
+)
+
+REVIEW_SCHEMA = RecordSchema(
+    "review",
+    (
+        Field("timestamp", "float"),
+        Field("review_id", "int"),
+        Field("app_package", "str"),
+        Field("google_id", "str"),
+        Field("rating", "int"),
+    ),
+)
+
+#: Store collection name -> schema, for the collections the server owns.
+SCHEMA_BY_COLLECTION: dict[str, RecordSchema] = {
+    "initial_snapshots": INITIAL_SCHEMA,
+    "slow_runs": SLOW_RUN_SCHEMA,
+    "fast_runs": FAST_RUN_SCHEMA,
+    "app_changes": APP_CHANGE_SCHEMA,
+    "installs": INSTALL_SCHEMA,
+}

@@ -167,7 +167,11 @@ class RacketStoreServer:
     # -- snapshot collector engine -----------------------------------------------
     def receive_chunk(self, kind: str, data: bytes) -> str:
         """Ingest one compressed chunk; the returned SHA-256 is the
-        delivery acknowledgement the mobile app validates against."""
+        delivery acknowledgement the mobile app validates against.
+
+        Records are validated line by line but inserted as one typed
+        batch per snapshot family, so a columnar collection appends
+        whole column runs instead of re-dispatching per document."""
         ack = chunk_hash(data)
         self._c_chunks.inc()
         self._c_bytes.inc(len(data))
@@ -182,31 +186,39 @@ class RacketStoreServer:
                     "malformed_chunk", kind=kind, bytes=len(data)
                 )
                 return ack
+            records: list[tuple[str, dict]] = []
             for line in lines:
                 if not line.strip():
                     continue
                 try:
                     payload = json.loads(line)
-                    record = record_from_dict(payload)
+                    record_from_dict(payload)  # schema validation
                 except (ValueError, TypeError):
                     self._c_malformed_records.inc()
                     obs.get_logger("ingest").warning("malformed_record", kind=kind)
                     continue
-                self._insert_record(payload["_type"], payload, record)
+                records.append((payload["_type"], payload))
+            self._insert_batches(records)
         return ack
 
-    def _insert_record(self, type_name: str, payload: dict, record) -> None:
-        collection = self.store[_COLLECTIONS[type_name]]
-        collection.insert(payload)
-        self._c_records.inc()
+    def _insert_batches(self, records: list[tuple[str, dict]]) -> None:
+        batches: dict[str, list[dict]] = {name: [] for name in _COLLECTIONS}
+        for type_name, payload in records:
+            batches[type_name].append(payload)
+        for type_name, batch in batches.items():
+            if batch:
+                inserted = self.store[_COLLECTIONS[type_name]].insert_many(batch)
+                self._c_records.inc(inserted)
         if self.review_crawler is None:
             return
-        # Backend: follow every app seen on a participant device (§5).
-        if type_name == "initial":
-            for app in payload["installed_apps"]:
-                self.review_crawler.track_app(app["package"])
-        elif type_name == "app_change" and payload["action"] == "install":
-            self.review_crawler.track_app(payload["package"])
+        # Backend: follow every app seen on a participant device (§5),
+        # in wire order.
+        for type_name, payload in records:
+            if type_name == "initial":
+                for app in payload["installed_apps"]:
+                    self.review_crawler.track_app(app["package"])
+            elif type_name == "app_change" and payload["action"] == "install":
+                self.review_crawler.track_app(payload["package"])
 
     # -- queries used by the analyses ------------------------------------------------
     def install_ids(self) -> list[str]:

@@ -2,17 +2,43 @@
 
 The paper's backend persists snapshots into MongoDB (§3).  This store
 provides the same access pattern for the analysis code: named
-collections of dict documents, a small operator language (``$eq``,
-``$ne``, ``$gt``, ``$gte``, ``$lt``, ``$lte``, ``$in``, ``$exists``),
-and single-field hash indexes for the hot lookups (by install id).
+collections of documents, a small operator language (``$eq``, ``$ne``,
+``$gt``, ``$gte``, ``$lt``, ``$lte``, ``$in``, ``$exists``), and
+single-field indexes for the hot lookups (by install id).
+
+Two interchangeable backends implement the same ``find`` / ``find_one``
+/ ``count`` / ``distinct`` API:
+
+* :class:`Collection` — one python dict per document, per-document
+  query matching, hash indexes.  The historical path.
+* :class:`ColumnarCollection` — documents live in a
+  :class:`~repro.frames.ColumnFrame` (typed when the collection name
+  has a declared schema, generic otherwise); queries compile to
+  vectorized boolean masks and equality indexes are column-sorted
+  position lists probed by bisection.
+
+The backend is chosen per :class:`DocumentStore` (``backend=`` or the
+``REPRO_STORE_BACKEND`` environment variable) and is contractually
+invisible: both return the same documents in the same order for any
+query (see ``tests/platform/test_store_query.py``).
 """
 
 from __future__ import annotations
 
+import os
+from bisect import bisect_left, bisect_right
 from collections import defaultdict
 from typing import Any, Callable, Iterator
 
-__all__ = ["DocumentStore", "Collection"]
+from ..frames import SCHEMA_BY_COLLECTION, ColumnFrame, mask_for
+from ..frames.frame import SchemaMismatchError
+
+__all__ = ["DocumentStore", "Collection", "ColumnarCollection"]
+
+#: Sentinel distinguishing "key absent" from an explicit ``None`` value,
+#: so ``$exists`` tests presence while every other operator keeps the
+#: historical reads-as-None behaviour for missing keys.
+_MISSING = object()
 
 
 _OPERATORS: dict[str, Callable[[Any, Any], bool]] = {
@@ -23,19 +49,20 @@ _OPERATORS: dict[str, Callable[[Any, Any], bool]] = {
     "$lt": lambda value, operand: value is not None and value < operand,
     "$lte": lambda value, operand: value is not None and value <= operand,
     "$in": lambda value, operand: value in operand,
-    "$exists": lambda value, operand: (value is not None) == bool(operand),
+    "$exists": lambda value, operand: (value is not _MISSING) == bool(operand),
 }
 
 
-def _matches(document: dict, query: dict) -> bool:
+def _matches(document, query: dict) -> bool:
     for fieldname, condition in query.items():
-        value = document.get(fieldname)
+        raw = document.get(fieldname, _MISSING)
+        value = None if raw is _MISSING else raw
         if isinstance(condition, dict) and any(k.startswith("$") for k in condition):
             for op, operand in condition.items():
                 handler = _OPERATORS.get(op)
                 if handler is None:
                     raise ValueError(f"unknown query operator {op!r}")
-                if not handler(value, operand):
+                if not handler(raw if op == "$exists" else value, operand):
                     return False
         elif value != condition:
             return False
@@ -43,7 +70,7 @@ def _matches(document: dict, query: dict) -> bool:
 
 
 class Collection:
-    """One named collection of documents."""
+    """One named collection of dict documents (the historical backend)."""
 
     def __init__(self, name: str) -> None:
         self.name = name
@@ -101,11 +128,14 @@ class Collection:
     def count(self, query: dict | None = None) -> int:
         if not query:
             return len(self._documents)
-        return len(self.find(query))
+        return sum(1 for doc in self._candidates(query) if _matches(doc, query))
 
     def distinct(self, fieldname: str, query: dict | None = None) -> list:
+        query = query or {}
         seen: set = set()
-        for doc in self.find(query):
+        for doc in self._candidates(query):
+            if not _matches(doc, query):
+                continue
             value = doc.get(fieldname)
             if isinstance(value, (list, tuple)):
                 seen.update(value)
@@ -115,18 +145,193 @@ class Collection:
         return sorted(seen, key=repr)
 
 
+class _SortedColumnIndex:
+    """Equality index over one sortable column: positions ordered by
+    key (ties in insertion order), probed with bisection.
+
+    Rebuilt lazily after inserts — bulk ingest pays one O(n log n) sort
+    at the first post-insert lookup instead of O(n) per insert.
+    """
+
+    __slots__ = ("_keys", "_positions", "_numeric", "_dirty")
+
+    def __init__(self, numeric: bool) -> None:
+        self._keys: list = []
+        self._positions: list[int] = []
+        self._numeric = numeric
+        self._dirty = True
+
+    def invalidate(self) -> None:
+        self._dirty = True
+
+    def _rebuild(self, values: list) -> None:
+        order = sorted(range(len(values)), key=values.__getitem__)
+        self._positions = order
+        self._keys = [values[i] for i in order]
+        self._dirty = False
+
+    def lookup(self, values: list, operand) -> list[int]:
+        # Operands that cannot compare against the column never match
+        # (the dict backend's hash probe likewise finds no bucket).
+        if self._numeric:
+            if not isinstance(operand, (int, float)):
+                return []
+        elif not isinstance(operand, str):
+            return []
+        if self._dirty:
+            self._rebuild(values)
+        lo = bisect_left(self._keys, operand)
+        hi = bisect_right(self._keys, operand)
+        return self._positions[lo:hi]
+
+
+class ColumnarCollection:
+    """One named collection backed by a :class:`ColumnFrame`.
+
+    Same public API and same results as :class:`Collection`; queries
+    evaluate as vectorized masks over whole columns.  A collection whose
+    name has a declared schema stores typed columns; if a document ever
+    fails the schema (only possible outside the server's validated
+    ingest path), the frame degrades once to generic columns so the
+    store keeps the dict backend's accept-anything behaviour.
+    """
+
+    def __init__(self, name: str, schema=None) -> None:
+        self.name = name
+        self.frame = ColumnFrame(schema)
+        self._indexes: dict[str, _SortedColumnIndex | dict[Any, list[int]]] = {}
+
+    def __len__(self) -> int:
+        return len(self.frame)
+
+    # -- writes ---------------------------------------------------------
+    def insert(self, document: dict) -> None:
+        if not isinstance(document, dict):
+            raise TypeError("documents must be dicts")
+        try:
+            self.frame.append(document)
+        except SchemaMismatchError:
+            self._degrade_to_generic()
+            self.frame.append(document)
+        for fieldname, index in self._indexes.items():
+            if isinstance(index, _SortedColumnIndex):
+                index.invalidate()
+            else:
+                index[document.get(fieldname)].append(len(self.frame) - 1)
+
+    def insert_many(self, documents) -> int:
+        count = 0
+        for document in documents:
+            self.insert(document)
+            count += 1
+        return count
+
+    def _degrade_to_generic(self) -> None:
+        generic = ColumnFrame()
+        for i in range(len(self.frame)):
+            generic.append(self.frame.row(i))
+        self.frame = generic
+        # Sorted indexes probe schema-typed columns; rebuild as hash maps.
+        for fieldname in list(self._indexes):
+            del self._indexes[fieldname]
+            self.create_index(fieldname)
+
+    # -- indexes --------------------------------------------------------
+    def create_index(self, fieldname: str) -> None:
+        if fieldname in self._indexes:
+            return
+        schema = self.frame.schema
+        if schema is not None and fieldname in schema and schema.field(fieldname).sortable:
+            index: _SortedColumnIndex | dict = _SortedColumnIndex(
+                numeric=schema.field(fieldname).kind in ("float", "int")
+            )
+        else:
+            index = defaultdict(list)
+            for position, value in enumerate(self.frame.cells(fieldname)):
+                index[value].append(position)
+        self._indexes[fieldname] = index
+
+    def _candidate_positions(self, query: dict) -> list[int] | None:
+        """Positions to check, or ``None`` for "evaluate the full mask"
+        (mirrors the dict backend's index-selection rule)."""
+        for fieldname, index in self._indexes.items():
+            condition = query.get(fieldname)
+            if condition is not None and not isinstance(condition, dict):
+                if isinstance(index, _SortedColumnIndex):
+                    return index.lookup(self.frame.values(fieldname), condition)
+                return list(index.get(condition, ()))
+        return None
+
+    # -- reads ----------------------------------------------------------
+    def _matching_positions(self, query: dict) -> Iterator[int]:
+        positions = self._candidate_positions(query)
+        if positions is None:
+            mask = mask_for(self.frame, query)
+            yield from (int(i) for i in mask.nonzero()[0])
+            return
+        for position in positions:
+            if _matches(self.frame.view(position), query):
+                yield position
+
+    def find(self, query: dict | None = None) -> list[dict]:
+        query = query or {}
+        return [self.frame.row(i) for i in self._matching_positions(query)]
+
+    def find_one(self, query: dict | None = None) -> dict | None:
+        for position in self._matching_positions(query or {}):
+            return self.frame.row(position)
+        return None
+
+    def find_views(self, query: dict | None = None) -> list:
+        """Like :meth:`find`, but zero-copy :class:`FrameRow` views."""
+        return [self.frame.view(i) for i in self._matching_positions(query or {})]
+
+    def count(self, query: dict | None = None) -> int:
+        if not query:
+            return len(self.frame)
+        return sum(1 for _ in self._matching_positions(query))
+
+    def distinct(self, fieldname: str, query: dict | None = None) -> list:
+        seen: set = set()
+        for position in self._matching_positions(query or {}):
+            value = self.frame.cell_or_none(fieldname, position)
+            if isinstance(value, (list, tuple)):
+                seen.update(value)
+            else:
+                seen.add(value)
+        seen.discard(None)
+        return sorted(seen, key=repr)
+
+
 class DocumentStore:
-    """A set of named collections (the Mongo database)."""
+    """A set of named collections (the Mongo database).
 
-    def __init__(self) -> None:
-        self._collections: dict[str, Collection] = {}
+    ``backend`` selects the collection implementation: ``"columnar"``
+    (the default — typed :class:`ColumnFrame` storage with vectorized
+    queries) or ``"dict"`` (one python dict per document).  The
+    ``REPRO_STORE_BACKEND`` environment variable overrides the default
+    for processes that cannot pass the argument (CLI, CI).
+    """
 
-    def collection(self, name: str) -> Collection:
+    def __init__(self, backend: str | None = None) -> None:
+        if backend is None:
+            backend = os.environ.get("REPRO_STORE_BACKEND", "columnar")
+        if backend not in ("dict", "columnar"):
+            raise ValueError(f"unknown store backend {backend!r}")
+        self.backend = backend
+        self._collections: dict[str, Collection | ColumnarCollection] = {}
+
+    def collection(self, name: str) -> Collection | ColumnarCollection:
         if name not in self._collections:
-            self._collections[name] = Collection(name)
+            if self.backend == "columnar":
+                self._collections[name] = ColumnarCollection(
+                    name, schema=SCHEMA_BY_COLLECTION.get(name)
+                )
+            else:
+                self._collections[name] = Collection(name)
         return self._collections[name]
 
-    def __getitem__(self, name: str) -> Collection:
+    def __getitem__(self, name: str) -> Collection | ColumnarCollection:
         return self.collection(name)
 
     def collection_names(self) -> list[str]:

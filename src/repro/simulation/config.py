@@ -79,6 +79,13 @@ class SimulationConfig:
     worker_accounts_multiplier: float = 1.0
     worker_review_volume_multiplier: float = 1.0
 
+    #: Document-store backend for the server: "columnar" (typed
+    #: ColumnFrame storage, DESIGN.md §9) or "dict"; ``None`` defers to
+    #: ``$REPRO_STORE_BACKEND`` (default columnar).  Both backends
+    #: produce byte-identical analyses — this knob exists for the
+    #: equivalence tests and the data-plane benchmark.
+    store_backend: str | None = None
+
     def scaled(self, **overrides) -> "SimulationConfig":
         """Copy with overrides (frozen-dataclass convenience)."""
         return replace(self, **overrides)

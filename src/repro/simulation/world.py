@@ -142,7 +142,9 @@ def build_world(config: SimulationConfig | None = None) -> tuple[StudyData, Beha
         panel, _malware_oracle_factory(catalog), availability=config.vt_availability
     )
 
-    server = RacketStoreServer(DocumentStore(), review_crawler=review_crawler)
+    server = RacketStoreServer(
+        DocumentStore(backend=config.store_backend), review_crawler=review_crawler
+    )
     engine = BehaviorEngine(config, catalog, review_store, board, rng)
     factory = AccountFactory(directory, rng)
 

@@ -1,0 +1,129 @@
+"""The data-plane hard contract (DESIGN.md §9): dict and columnar
+backends — and scalar and batch feature extraction — produce
+byte-identical analyses.
+
+Exact equality throughout: feature matrices compare by ``tobytes()``,
+labels and instances by ``==``, experiment reports by their rendered
+text.  Any deviation, however small, is a contract violation.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.app_features import app_feature_matrix, app_feature_vector
+from repro.core.datasets import build_app_dataset, build_device_dataset
+from repro.core.device_features import device_feature_matrix, device_feature_vector
+from repro.core.observations import build_observations
+from repro.experiments import Workbench, run_experiment
+from repro.simulation import run_study
+
+
+@pytest.fixture(scope="module")
+def dict_study(small_config):
+    return run_study(small_config.scaled(store_backend="dict"))
+
+
+@pytest.fixture(scope="module")
+def columnar_study(small_config):
+    return run_study(small_config.scaled(store_backend="columnar"))
+
+
+@pytest.fixture(scope="module")
+def dict_observations(dict_study):
+    return build_observations(dict_study, dict_study.eligible_participants(min_days=2))
+
+
+@pytest.fixture(scope="module")
+def columnar_observations(columnar_study):
+    return build_observations(
+        columnar_study, columnar_study.eligible_participants(min_days=2)
+    )
+
+
+def test_store_contents_identical(dict_study, columnar_study):
+    names = ("installs", "initial_snapshots", "slow_runs", "fast_runs", "app_changes")
+    for name in names:
+        dict_docs = dict_study.server.store[name].find()
+        columnar_docs = columnar_study.server.store[name].find()
+        assert dict_docs == columnar_docs, name
+
+
+def test_observations_identical(dict_observations, columnar_observations):
+    assert len(dict_observations) == len(columnar_observations)
+    for d, c in zip(dict_observations, columnar_observations):
+        assert d.install_id == c.install_id
+        assert (d.initial or {}) == dict(c.initial or {})
+        assert [dict(r) for r in c.slow_runs] == d.slow_runs
+        assert [dict(r) for r in c.fast_runs] == d.fast_runs
+        assert [dict(r) for r in c.app_changes] == d.app_changes
+        assert d.google_ids == c.google_ids
+        assert d.device_reviews == c.device_reviews
+
+
+def test_app_feature_matrix_byte_identical(dict_study, dict_observations,
+                                           columnar_study, columnar_observations):
+    for d_obs, c_obs in zip(dict_observations, columnar_observations):
+        packages = sorted(d_obs.observed_packages)
+        if not packages:
+            continue
+        scalar = np.vstack(
+            [
+                app_feature_vector(d_obs, p, dict_study.catalog, dict_study.vt_client)
+                for p in packages
+            ]
+        )
+        batch = app_feature_matrix(
+            c_obs, packages, columnar_study.catalog, columnar_study.vt_client
+        )
+        assert scalar.tobytes() == batch.tobytes(), d_obs.install_id
+
+
+def test_device_feature_matrix_byte_identical(dict_observations, columnar_observations):
+    scores = [None if i % 3 == 0 else i / 7 for i in range(len(dict_observations))]
+    scalar = np.vstack(
+        [device_feature_vector(o, s) for o, s in zip(dict_observations, scores)]
+    )
+    batch = device_feature_matrix(columnar_observations, scores)
+    assert scalar.tobytes() == batch.tobytes()
+
+
+def test_datasets_byte_identical(dict_study, dict_observations,
+                                 columnar_study, columnar_observations):
+    scalar_apps = build_app_dataset(
+        dict_study, dict_observations, features="scalar"
+    )
+    batch_apps = build_app_dataset(
+        columnar_study, columnar_observations, features="batch"
+    )
+    assert scalar_apps.X.tobytes() == batch_apps.X.tobytes()
+    assert scalar_apps.y.tobytes() == batch_apps.y.tobytes()
+    assert scalar_apps.instances == batch_apps.instances
+
+    suspiciousness = {
+        o.install_id: i / 11 for i, o in enumerate(dict_observations) if i % 2
+    }
+    scalar_devices = build_device_dataset(
+        dict_study, dict_observations, suspiciousness, features="scalar"
+    )
+    batch_devices = build_device_dataset(
+        columnar_study, columnar_observations, suspiciousness, features="batch"
+    )
+    assert scalar_devices.X.tobytes() == batch_devices.X.tobytes()
+    assert scalar_devices.y.tobytes() == batch_devices.y.tobytes()
+
+
+def test_invalid_features_knob_rejected(dict_study, dict_observations):
+    with pytest.raises(ValueError, match="features"):
+        build_app_dataset(dict_study, dict_observations, features="vectorised")
+    with pytest.raises(ValueError, match="features"):
+        build_device_dataset(dict_study, dict_observations, features="turbo")
+
+
+def test_experiment_report_identical(small_config):
+    # fig07 (install-to-review) consumes the full observation join; its
+    # rendered report must not depend on the store backend.
+    reports = []
+    for backend in ("dict", "columnar"):
+        workbench = Workbench(small_config.scaled(store_backend=backend))
+        reports.append(run_experiment("fig07", workbench).render())
+    assert reports[0] == reports[1]

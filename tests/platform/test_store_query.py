@@ -1,0 +1,203 @@
+"""Dict vs columnar store backends: same query language, same results.
+
+The contract (DESIGN.md §9): for any query both backends return the
+same documents in the same order through the same public API.  Every
+``_OPERATORS`` operator is exercised on both backends, with and without
+indexes, on generic and schema-typed collections.
+"""
+
+import pytest
+
+from repro.platform.store import _OPERATORS, Collection, ColumnarCollection, DocumentStore
+
+BACKENDS = ("dict", "columnar")
+
+DOCS = [
+    {"name": "ana", "age": 30, "city": "lima"},
+    {"name": "bob", "age": 25, "city": "dhaka"},
+    {"name": "eve", "age": 35, "city": "lima"},
+    {"name": "sam", "age": 25},
+    {"name": "ada", "age": 41, "city": None},
+    {"name": "joe", "age": 25, "city": "lima", "tags": ["x", "y"]},
+]
+
+#: One query per operator, plus the plain-equality and combined forms.
+#: Keys are the operator names so the completeness check below can
+#: assert the suite covers the store's whole language.
+OPERATOR_QUERIES = {
+    "$eq": {"age": {"$eq": 25}},
+    "$ne": {"city": {"$ne": "lima"}},
+    "$gt": {"age": {"$gt": 25}},
+    "$gte": {"age": {"$gte": 30}},
+    "$lt": {"age": {"$lt": 30}},
+    "$lte": {"age": {"$lte": 25}},
+    "$in": {"city": {"$in": ["lima", "quito"]}},
+    "$exists": {"city": {"$exists": True}},
+}
+
+EXTRA_QUERIES = [
+    {},
+    {"city": "lima"},
+    {"city": None},
+    {"nope": "x"},
+    {"city": {"$exists": False}},
+    {"city": "lima", "age": {"$gte": 26, "$lt": 40}},
+    {"age": {"$gt": 24, "$lte": 35}, "name": {"$ne": "bob"}},
+]
+
+
+def build(backend: str, docs=DOCS, index: str | None = None):
+    collection = DocumentStore(backend=backend).collection("people")
+    if index:
+        collection.create_index(index)
+    collection.insert_many([dict(doc) for doc in docs])
+    return collection
+
+
+def pairs(index: str | None = None):
+    return build("dict", index=index), build("columnar", index=index)
+
+
+def test_operator_queries_cover_the_language():
+    assert set(OPERATOR_QUERIES) == set(_OPERATORS)
+
+
+@pytest.mark.parametrize("op", sorted(OPERATOR_QUERIES))
+def test_every_operator_same_documents_same_order(op):
+    query = OPERATOR_QUERIES[op]
+    dict_col, columnar_col = pairs()
+    assert dict_col.find(query) == columnar_col.find(query)
+    assert dict_col.count(query) == columnar_col.count(query)
+
+
+@pytest.mark.parametrize("query", EXTRA_QUERIES)
+def test_plain_and_combined_queries_agree(query):
+    dict_col, columnar_col = pairs()
+    assert dict_col.find(query) == columnar_col.find(query)
+    assert dict_col.find_one(query) == columnar_col.find_one(query)
+    assert dict_col.count(query) == columnar_col.count(query)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_unknown_operator_raises(backend):
+    with pytest.raises(ValueError, match="unknown query operator"):
+        build(backend).find({"age": {"$regex": ".*"}})
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_exists_distinguishes_none_from_missing(backend):
+    collection = build(backend)
+    present = collection.find({"city": {"$exists": True}})
+    # "ada" carries an explicit None -> exists; "sam" has no key at all.
+    assert [d["name"] for d in present] == ["ana", "bob", "eve", "ada", "joe"]
+    absent = collection.find({"city": {"$exists": False}})
+    assert [d["name"] for d in absent] == ["sam"]
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_missing_key_reads_as_none_for_other_operators(backend):
+    collection = build(backend)
+    # Equality against None matches both the explicit None and the
+    # missing key (historical dict.get semantics).
+    assert [d["name"] for d in collection.find({"city": None})] == ["sam", "ada"]
+    # Ordering operators never match None/missing.
+    assert all(
+        "city" in d and d["city"] is not None
+        for d in collection.find({"city": {"$gte": ""}})
+    )
+
+
+@pytest.mark.parametrize("index", [None, "city", "age"])
+def test_indexed_and_unindexed_paths_agree(index):
+    dict_col, columnar_col = pairs(index=index)
+    baseline_dict, baseline_columnar = pairs(index=None)
+    for query in [*OPERATOR_QUERIES.values(), *EXTRA_QUERIES]:
+        expected = baseline_dict.find(query)
+        assert baseline_columnar.find(query) == expected
+        assert dict_col.find(query) == expected
+        assert columnar_col.find(query) == expected
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_index_updated_after_inserts(backend):
+    collection = build(backend, index="city")
+    collection.insert({"name": "zoe", "age": 28, "city": "lima"})
+    assert [d["name"] for d in collection.find({"city": "lima"})] == [
+        "ana",
+        "eve",
+        "joe",
+        "zoe",
+    ]
+
+
+def test_distinct_agrees_including_list_flattening():
+    dict_col, columnar_col = pairs()
+    for fieldname in ("city", "age", "tags", "nope"):
+        assert dict_col.distinct(fieldname) == columnar_col.distinct(fieldname)
+    query = {"age": {"$lte": 30}}
+    assert dict_col.distinct("city", query) == columnar_col.distinct("city", query)
+
+
+def test_typed_collection_sorted_index_agrees():
+    docs = [
+        {
+            "install_id": f"i{i % 3}",
+            "participant_id": str(100 + i),
+            "android_id": None if i % 4 == 0 else f"a{i}",
+            "registered_at": float(i),
+        }
+        for i in range(12)
+    ]
+    dict_col = DocumentStore(backend="dict").collection("installs")
+    columnar_col = DocumentStore(backend="columnar").collection("installs")
+    for collection in (dict_col, columnar_col):
+        collection.create_index("install_id")
+        collection.insert_many([dict(d) for d in docs])
+    assert isinstance(columnar_col, ColumnarCollection)
+    assert columnar_col.frame.schema is not None  # typed via SCHEMA_BY_COLLECTION
+    for query in [
+        {"install_id": "i1"},  # sorted-index probe, duplicates in insert order
+        {"install_id": "zzz"},
+        {"install_id": 42},  # type-mismatched operand: no matches, no error
+        {"registered_at": {"$gte": 3.0, "$lt": 9.0}},
+        {"android_id": {"$exists": True}},
+        {"android_id": None},
+    ]:
+        assert dict_col.find(query) == columnar_col.find(query)
+
+
+def test_columnar_degrades_to_generic_on_schema_mismatch():
+    columnar_col = DocumentStore(backend="columnar").collection("installs")
+    columnar_col.create_index("install_id")
+    conforming = {
+        "install_id": "i0",
+        "participant_id": "100",
+        "android_id": "a0",
+        "registered_at": 0.0,
+    }
+    columnar_col.insert(dict(conforming))
+    columnar_col.insert({"install_id": "i1", "weird": True})  # degrade
+    assert columnar_col.frame.schema is None
+    assert columnar_col.find({"install_id": "i0"}) == [conforming]
+    assert columnar_col.find({"weird": {"$exists": True}}) == [
+        {"install_id": "i1", "weird": True}
+    ]
+    assert columnar_col.count() == 2
+
+
+def test_find_views_are_live_mappings():
+    collection = DocumentStore(backend="columnar").collection("people")
+    collection.insert_many([dict(d) for d in DOCS])
+    views = collection.find_views({"city": "lima"})
+    assert [dict(v) for v in views] == collection.find({"city": "lima"})
+
+
+def test_backend_knob_and_env(monkeypatch):
+    assert isinstance(DocumentStore(backend="dict")["c"], Collection)
+    assert isinstance(DocumentStore(backend="columnar")["c"], ColumnarCollection)
+    with pytest.raises(ValueError, match="unknown store backend"):
+        DocumentStore(backend="sqlite")
+    monkeypatch.setenv("REPRO_STORE_BACKEND", "dict")
+    assert isinstance(DocumentStore()["c"], Collection)
+    monkeypatch.delenv("REPRO_STORE_BACKEND")
+    assert isinstance(DocumentStore()["c"], ColumnarCollection)
