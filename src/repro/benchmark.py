@@ -40,7 +40,7 @@ from .ml import (
 from .ml.base import check_array
 from .parallel import resolve_n_jobs, spawn_seeds
 
-__all__ = ["run_bench", "run_data_bench", "make_bench_dataset"]
+__all__ = ["run_bench", "run_data_bench", "run_lint_bench", "make_bench_dataset"]
 
 
 def _machine_info() -> dict:
@@ -223,6 +223,78 @@ def run_bench(
         f"({payload['knn']['speedup']}x, equal={knn_equal})"
     )
 
+    with open(out, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+    print(f"wrote {out}")
+
+    for failure in failures:
+        print(f"error: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+# -- lint suite (DESIGN.md §10) ----------------------------------------------
+
+
+def run_lint_bench(
+    n_jobs: int | None = None,
+    smoke: bool = False,
+    out: str = "BENCH_lint.json",
+    paths: list[str] | None = None,
+) -> int:
+    """Benchmark the statan two-phase analysis, serial vs fanned out.
+
+    Asserts the determinism contract: the full finding list (rules,
+    positions, messages, fingerprints) must be byte-identical at any
+    worker count.  Returns non-zero on mismatch.  Speedups are recorded,
+    not asserted — single-core runners legitimately measure ~1x.
+    """
+    import os.path
+
+    from .statan.engine import analyze_tree
+
+    if paths is None:
+        paths = ["src"] if os.path.isdir("src") else ["."]
+    max_jobs = resolve_n_jobs(n_jobs if n_jobs is not None else (2 if smoke else 0))
+    rounds = 1 if smoke else 3
+    failures: list[str] = []
+
+    def run_once(jobs: int):
+        result = None
+        for _ in range(rounds):
+            result = analyze_tree(paths, n_jobs=jobs)
+        return result
+
+    (serial_findings, stats), t_serial = _timed(run_once, 1)
+    (parallel_findings, _), t_parallel = _timed(run_once, max_jobs)
+
+    serial_bytes = json.dumps([f.to_json() for f in serial_findings])
+    parallel_bytes = json.dumps([f.to_json() for f in parallel_findings])
+    equal = serial_bytes == parallel_bytes
+    if not equal:
+        failures.append("lint: findings differ between serial and parallel runs")
+
+    payload = {
+        "machine": _machine_info(),
+        "smoke": smoke,
+        "n_jobs": max_jobs,
+        "rounds": rounds,
+        "paths": paths,
+        "stats": stats,
+        "findings": len(serial_findings),
+        "by_rule": {
+            rule: sum(1 for f in serial_findings if f.rule == rule)
+            for rule in sorted({f.rule for f in serial_findings})
+        },
+        "lint_seconds_serial": round(t_serial, 4),
+        "lint_seconds_parallel": round(t_parallel, 4),
+        "speedup": _speedup(t_serial, t_parallel),
+        "outputs_equal": equal,
+    }
+    print(
+        f"bench lint: {stats.get('files', 0)} files x{rounds}: "
+        f"{t_serial:.3f}s -> {t_parallel:.3f}s at n_jobs {max_jobs} "
+        f"({payload['speedup']}x, equal={equal})"
+    )
     with open(out, "w") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True)
     print(f"wrote {out}")

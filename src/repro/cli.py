@@ -14,9 +14,13 @@ Commands
                 span-tree timing report and the top-N slowest spans
 ``bench``       speedup/determinism suites: ``ml`` (CV/forest/KNN serial
                 vs parallel -> BENCH_ml.json), ``data`` (columnar data
-                plane vs dict backend -> BENCH_data.json), or ``all``
-``lint``        run the repro.statan static analyzer (determinism &
-                invariants rules) over the source tree
+                plane vs dict backend -> BENCH_data.json), ``lint``
+                (serial vs parallel statan analysis -> BENCH_lint.json),
+                or ``all``
+``lint``        run the repro.statan static analyzer (per-file and
+                whole-program determinism/invariants rules) over the
+                source tree; ``--n-jobs``/``--changed`` scale and scope
+                the run
 
 ``simulate``/``report``/``train``/``profile`` accept ``--metrics-out
 FILE`` to enable the metrics registry and archive its JSON export.
@@ -113,9 +117,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="speedup/determinism benchmarks; writes BENCH_<suite>.json",
     )
     bench.add_argument(
-        "suite", nargs="?", choices=("ml", "data", "all"), default="ml",
+        "suite", nargs="?", choices=("ml", "data", "lint", "all"), default="ml",
         help="ml: serial-vs-parallel ML workloads; data: columnar "
-        "data plane vs dict backend; all: both (default: ml)",
+        "data plane vs dict backend; lint: serial-vs-parallel statan "
+        "analysis; all: every suite (default: ml)",
     )
     bench.add_argument(
         "--smoke", action="store_true",
@@ -320,7 +325,7 @@ def _cmd_profile(args) -> int:
 
 
 def _cmd_bench(args) -> int:
-    from .benchmark import run_bench, run_data_bench
+    from .benchmark import run_bench, run_data_bench, run_lint_bench
 
     seed = args.seed if args.seed is not None else 0
     if args.suite == "all" and args.out is not None:
@@ -339,6 +344,12 @@ def _cmd_bench(args) -> int:
             seed=seed,
             smoke=args.smoke,
             out=args.out or "BENCH_data.json",
+        )
+    if args.suite in ("lint", "all"):
+        code |= run_lint_bench(
+            n_jobs=args.n_jobs,
+            smoke=args.smoke,
+            out=args.out or "BENCH_lint.json",
         )
     return code
 

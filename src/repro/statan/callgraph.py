@@ -1,0 +1,250 @@
+"""Approximate static call graph over the indexed project.
+
+One directed edge per (caller function, callee function) pair the
+resolver can see, with the first call site kept for reporting.  The
+resolver follows, in order of confidence:
+
+1. **Locals** — calls to nested ``def``s of the current function;
+2. **Module scope** — bare names bound by a module-level ``def`` in the
+   same module;
+3. **Imports** — names resolved through the module's import-alias table
+   and matched against the symbol table by dotted suffix;
+4. **Self dispatch** — ``self.m()`` against the enclosing class, then
+   one level of base classes;
+5. **Typed locals** — ``x = SomeClass(...)`` / ``x: SomeClass`` followed
+   by ``x.m()``;
+6. **By-name method dispatch** — any remaining ``obj.m()`` connects to
+   *every* indexed method named ``m`` (deliberate over-approximation so
+   taint survives duck typing; precision notes in DESIGN.md §10).
+
+Known-unsound (documented, fixture-tested): callables stored in
+containers (``table["k"]()``), ``getattr`` dispatch, decorators that
+swap the wrapped function for another callable, and ``*args``
+forwarding.  These produce *no* edge — the taint pass under-approximates
+there rather than guessing.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Iterator
+
+from .symbols import ClassInfo, FunctionInfo, SymbolTable
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only import cycle guard
+    from .engine import ModuleContext
+
+__all__ = ["CallSite", "CallGraph"]
+
+
+class CallSite:
+    """First observed call expression for one caller→callee edge."""
+
+    __slots__ = ("caller", "callee", "line", "col")
+
+    def __init__(self, caller: str, callee: str, line: int, col: int) -> None:
+        self.caller = caller
+        self.callee = callee
+        self.line = line
+        self.col = col
+
+
+def _body_walk(node: ast.AST) -> Iterator[ast.AST]:
+    """Walk a function body without descending into nested ``def``s or
+    classes (those are separate symbols); lambda bodies stay with the
+    enclosing function."""
+    stack = list(ast.iter_child_nodes(node))
+    while stack:
+        child = stack.pop()
+        if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            continue
+        yield child
+        stack.extend(ast.iter_child_nodes(child))
+
+
+class CallGraph:
+    """Adjacency over function qualnames, plus reverse edges for taint."""
+
+    def __init__(self) -> None:
+        #: caller -> {callee -> CallSite}
+        self.edges: dict[str, dict[str, CallSite]] = {}
+        self.reverse: dict[str, set[str]] = {}
+        self.n_edges = 0
+
+    # -- construction -------------------------------------------------------
+    @classmethod
+    def build(
+        cls, symbols: SymbolTable, modules: dict[str, "ModuleContext"]
+    ) -> "CallGraph":
+        graph = cls()
+        for info in symbols.iter_functions():
+            ctx = modules.get(info.path)
+            if ctx is None:
+                continue
+            graph._add_function(symbols, ctx, info)
+        return graph
+
+    def _add_edge(self, caller: str, callee: str, node: ast.AST) -> None:
+        sites = self.edges.setdefault(caller, {})
+        if callee not in sites:
+            sites[callee] = CallSite(
+                caller,
+                callee,
+                getattr(node, "lineno", 1),
+                getattr(node, "col_offset", 0),
+            )
+            self.reverse.setdefault(callee, set()).add(caller)
+            self.n_edges += 1
+
+    def _add_function(
+        self, symbols: SymbolTable, ctx: "ModuleContext", info: FunctionInfo
+    ) -> None:
+        local_types = self._infer_local_types(symbols, ctx, info)
+        for node in _body_walk(info.node):
+            if not isinstance(node, ast.Call):
+                continue
+            for callee in self._resolve_call(symbols, ctx, info, node, local_types):
+                self._add_edge(info.qualname, callee, node)
+
+    def _infer_local_types(
+        self, symbols: SymbolTable, ctx: "ModuleContext", info: FunctionInfo
+    ) -> dict[str, ClassInfo]:
+        """Map local variable names to indexed classes where obvious:
+        ``x = SomeClass(...)`` and ``x: SomeClass`` (parameter or
+        annotated assignment)."""
+        types: dict[str, ClassInfo] = {}
+
+        def class_for(expr: ast.AST | None) -> ClassInfo | None:
+            if expr is None:
+                return None
+            if isinstance(expr, ast.Name):
+                resolved = ctx.imports.get(expr.id, expr.id)
+                return symbols.resolve_class(ctx.module, resolved)
+            if isinstance(expr, ast.Attribute):
+                resolved = ctx.resolve(expr)
+                if resolved is None:
+                    return None
+                return symbols.resolve_class(ctx.module, resolved.split(".")[-1])
+            return None
+
+        args = info.node.args
+        for arg in args.posonlyargs + args.args + args.kwonlyargs:
+            klass = class_for(arg.annotation)
+            if klass is not None:
+                types[arg.arg] = klass
+        for node in _body_walk(info.node):
+            if isinstance(node, ast.Assign) and isinstance(node.value, ast.Call):
+                klass = class_for(node.value.func)
+                if klass is None:
+                    continue
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        types[target.id] = klass
+            elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+                klass = class_for(node.annotation)
+                if klass is not None:
+                    types[node.target.id] = klass
+        return types
+
+    def _resolve_call(
+        self,
+        symbols: SymbolTable,
+        ctx: "ModuleContext",
+        info: FunctionInfo,
+        call: ast.Call,
+        local_types: dict[str, ClassInfo],
+    ) -> list[str]:
+        func = call.func
+        if isinstance(func, ast.Name):
+            return self._resolve_name_call(symbols, ctx, info, func.id)
+        if isinstance(func, ast.Attribute):
+            return self._resolve_attribute_call(symbols, ctx, info, func, local_types)
+        return []
+
+    def _resolve_name_call(
+        self, symbols: SymbolTable, ctx: "ModuleContext", info: FunctionInfo, name: str
+    ) -> list[str]:
+        nested = f"{info.qualname}.<locals>.{name}"
+        if nested in symbols.functions:
+            return [nested]
+        local = symbols.module_functions.get((ctx.module, name))
+        if local:
+            return [local]
+        local_class = symbols.module_classes.get((ctx.module, name))
+        if local_class:
+            init = symbols.classes[local_class].methods.get("__init__")
+            return [init] if init else []
+        imported = ctx.imports.get(name)
+        if imported:
+            return symbols.resolve_dotted(imported)
+        return []
+
+    def _resolve_attribute_call(
+        self,
+        symbols: SymbolTable,
+        ctx: "ModuleContext",
+        info: FunctionInfo,
+        func: ast.Attribute,
+        local_types: dict[str, ClassInfo],
+    ) -> list[str]:
+        # self.m() -> own class, then one level of bases.
+        if (
+            isinstance(func.value, ast.Name)
+            and func.value.id == "self"
+            and info.class_name is not None
+        ):
+            own = symbols.resolve_class(ctx.module, info.class_name)
+            if own is not None:
+                method = symbols.method_on(own, func.attr)
+                if method:
+                    return [method]
+        # x.m() where x was constructed/annotated from an indexed class.
+        if isinstance(func.value, ast.Name):
+            klass = local_types.get(func.value.id)
+            if klass is not None:
+                method = symbols.method_on(klass, func.attr)
+                if method:
+                    return [method]
+        # helpers.jitter() / pkg.Class.method() through the import table.
+        resolved = ctx.resolve(func)
+        if resolved:
+            hits = symbols.resolve_dotted(resolved)
+            if hits:
+                return hits
+        # Fall back to by-name dispatch across every indexed method.
+        return list(symbols.methods_by_name.get(func.attr, ()))
+
+    # -- queries ------------------------------------------------------------
+    def callees(self, caller: str) -> list[CallSite]:
+        sites = self.edges.get(caller, {})
+        return [sites[callee] for callee in sorted(sites)]
+
+    def reachable_from(self, sinks: set[str]) -> dict[str, str]:
+        """Reverse reachability: function -> witness next hop toward a
+        sink (sinks map to themselves).  Deterministic: sinks and
+        adjacency are processed in sorted order, first assignment wins.
+        """
+        witness: dict[str, str] = {q: q for q in sorted(sinks)}
+        frontier = sorted(sinks)
+        while frontier:
+            next_frontier: list[str] = []
+            for callee in frontier:
+                for caller in sorted(self.reverse.get(callee, ())):
+                    if caller not in witness:
+                        witness[caller] = callee
+                        next_frontier.append(caller)
+            frontier = sorted(next_frontier)
+        return witness
+
+    def chain(self, start: str, witness: dict[str, str]) -> list[str]:
+        """Follow witness hops from ``start`` to the sink it reaches."""
+        path = [start]
+        seen = {start}
+        current = start
+        while witness.get(current, current) != current:
+            current = witness[current]
+            if current in seen:  # pragma: no cover - cycle safety
+                break
+            seen.add(current)
+            path.append(current)
+        return path

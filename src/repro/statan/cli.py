@@ -6,13 +6,15 @@ without the simulation stack (and vice versa).
 
 from __future__ import annotations
 
+import argparse
+import subprocess
 import sys
 from pathlib import Path
 
 from .baseline import load_baseline, partition, save_baseline
-from .engine import analyze_paths, iter_python_files
+from .engine import analyze_tree
 from .reporters import LintResult, render_json, render_text
-from .rules import all_rules
+from .rules import get_rule, rule_ids
 
 __all__ = ["run_lint", "add_lint_arguments"]
 
@@ -44,15 +46,72 @@ def add_lint_arguments(parser) -> None:
         "--show-baselined", action="store_true",
         help="also print baselined findings in the text report",
     )
+    # SUPPRESS so this subcommand flag never clobbers the root parser's
+    # global --n-jobs when the user writes `repro --n-jobs 4 lint`.
+    parser.add_argument(
+        "--n-jobs", type=int, default=argparse.SUPPRESS, metavar="N",
+        help="worker processes for the per-file rules (default: "
+        "$REPRO_N_JOBS, else serial; <= 0 means all cores); the report "
+        "is byte-identical at any worker count",
+    )
+    parser.add_argument(
+        "--changed", action="store_true",
+        help="scope per-file rules to files changed vs git HEAD "
+        "(untracked included); whole-program rules still see the full "
+        "tree, and the stale-baseline check is skipped",
+    )
 
 
 def _default_paths() -> list[str]:
     return ["src"] if Path("src").is_dir() else ["."]
 
 
+def _git_changed_files() -> list[str] | None:
+    """Repo-relative paths changed vs HEAD plus untracked files, or
+    None when git is unavailable (not a checkout, no HEAD yet)."""
+    try:
+        diff = subprocess.run(
+            ["git", "diff", "--name-only", "HEAD"],
+            capture_output=True, text=True, check=True,
+        )
+        untracked = subprocess.run(
+            ["git", "ls-files", "--others", "--exclude-standard"],
+            capture_output=True, text=True, check=True,
+        )
+    except (OSError, subprocess.CalledProcessError):
+        return None
+    listed = diff.stdout.splitlines() + untracked.stdout.splitlines()
+    files = {f for f in listed if f.endswith(".py")}
+    return sorted(files)
+
+
+def _changed_labels(paths: list[str]) -> set[str] | None:
+    """Map git-changed files onto the scan-relative labels
+    :func:`~repro.statan.engine.iter_python_files` produces for
+    ``paths`` (directory roots are stripped; direct file arguments keep
+    their basename label)."""
+    changed = _git_changed_files()
+    if changed is None:
+        return None
+    labels: set[str] = set()
+    for raw in changed:
+        file = Path(raw)
+        for root_raw in paths:
+            root = Path(root_raw)
+            if root.is_dir():
+                try:
+                    labels.add(file.relative_to(root).as_posix())
+                except ValueError:
+                    continue
+            elif file == root:
+                labels.add(root.name)
+    return labels
+
+
 def run_lint(args) -> int:
     if args.list_rules:
-        for rule in all_rules():
+        for rule_id in rule_ids():
+            rule = get_rule(rule_id)
             print(f"{rule.id}  [{rule.severity}]  {rule.summary}")
         return 0
 
@@ -62,8 +121,24 @@ def run_lint(args) -> int:
             print(f"error: no such file or directory: {path}", file=sys.stderr)
             return 2
 
-    findings = analyze_paths(paths)
-    files_checked = len(iter_python_files(paths))
+    if args.changed and args.update_baseline:
+        print("error: --update-baseline needs a full run, not --changed",
+              file=sys.stderr)
+        return 2
+
+    per_file_labels = None
+    if args.changed:
+        per_file_labels = _changed_labels(paths)
+        if per_file_labels is None:
+            print("warning: git unavailable; linting the full tree",
+                  file=sys.stderr)
+
+    # The subcommand flag is SUPPRESSed so a global `repro --n-jobs N`
+    # shows through; absent both, None means $REPRO_N_JOBS-or-serial.
+    n_jobs = getattr(args, "n_jobs", None)
+    findings, stats = analyze_tree(
+        paths, n_jobs=n_jobs, per_file_labels=per_file_labels
+    )
 
     if args.update_baseline:
         save_baseline(args.baseline, findings)
@@ -75,7 +150,14 @@ def run_lint(args) -> int:
 
     baseline = load_baseline(args.baseline)
     new, grandfathered, stale = partition(findings, baseline)
-    result = LintResult(new, grandfathered, stale, files_checked)
+    if per_file_labels is not None:
+        # A scoped run does not see every file's findings, so absent
+        # fingerprints say nothing about the baseline being stale.
+        stale = []
+    result = LintResult(
+        new, grandfathered, stale, stats.get("files", 0),
+        stats=stats, baseline_path=args.baseline,
+    )
     if args.format == "json":
         print(render_json(result))
     else:

@@ -1,0 +1,104 @@
+"""Interprocedural determinism taint (the DET004 substrate).
+
+A function is a **sink** when the per-file determinism rules (DET001
+unseeded randomness, DET002 wall clock, DET003 unordered iteration)
+fire inside its body — the same detectors, so per-file and project
+verdicts can never disagree about what counts as nondeterministic.
+Suppressed sink lines (``# statan: disable=``) are reviewed code and do
+not taint; exempt packages (``obs``) stay exempt for the same reason.
+
+Taint then propagates backwards over the approximate call graph: every
+function that can reach a sink is tainted, and for each tainted
+function we keep a *witness* next hop so DET004 can print the concrete
+call chain down to the offending line.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from .findings import Finding
+from .rules import get_rule
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only import cycle guard
+    from .project import ProjectContext
+
+__all__ = ["SINK_RULES", "ENTRY_PACKAGES", "TaintAnalysis", "Sink"]
+
+#: Per-file rules whose findings make the enclosing function a sink.
+SINK_RULES = ("DET001", "DET002", "DET003")
+
+#: Packages whose functions are determinism entry points: anything here
+#: that reaches a sink breaks the seeded-run contract (ROADMAP standing
+#: invariants).
+ENTRY_PACKAGES = frozenset(
+    {"simulation", "ml", "analysis", "experiments", "statstests", "core", "playstore"}
+)
+
+
+@dataclass(frozen=True)
+class Sink:
+    """One direct nondeterminism site attributed to a function."""
+
+    qualname: str
+    rule: str
+    path: str
+    line: int
+    snippet: str
+
+
+class TaintAnalysis:
+    """Sinks plus reverse reachability over the project call graph."""
+
+    def __init__(self, project: "ProjectContext") -> None:
+        self.project = project
+        #: function qualname -> its direct sinks, in (path, line) order.
+        self.sinks_by_function: dict[str, list[Sink]] = {}
+        self._collect_sinks()
+        #: tainted function -> witness next hop toward a sink.
+        self.witness = project.callgraph.reachable_from(
+            set(self.sinks_by_function)
+        )
+
+    def _collect_sinks(self) -> None:
+        for ctx in self.project.modules:
+            findings: list[Finding] = []
+            for rule_id in SINK_RULES:
+                findings.extend(get_rule(rule_id).check(ctx))
+            for finding in sorted(findings, key=Finding.sort_key):
+                if self.project.is_suppressed(finding):
+                    continue
+                info = self.project.symbols.function_at(ctx.path, finding.line)
+                if info is None:
+                    # Module-level sinks have no caller to taint.
+                    continue
+                self.sinks_by_function.setdefault(info.qualname, []).append(
+                    Sink(
+                        qualname=info.qualname,
+                        rule=finding.rule,
+                        path=ctx.path,
+                        line=finding.line,
+                        snippet=finding.snippet,
+                    )
+                )
+
+    # -- queries ------------------------------------------------------------
+    def is_sink(self, qualname: str) -> bool:
+        return qualname in self.sinks_by_function
+
+    def is_tainted(self, qualname: str) -> bool:
+        return qualname in self.witness
+
+    def chain_to_sink(self, start: str) -> tuple[list[str], Sink] | None:
+        """Call chain ``start -> ... -> sink function`` plus the sink's
+        first direct nondeterminism site, or None when ``start`` is
+        clean."""
+        if start not in self.witness:
+            return None
+        chain = self.project.callgraph.chain(start, self.witness)
+        sink_fn = chain[-1]
+        sinks = self.sinks_by_function.get(sink_fn)
+        if not sinks:  # pragma: no cover - witness always ends at a sink
+            return None
+        return chain, sinks[0]

@@ -1,8 +1,20 @@
 """Analysis engine: parse modules, run rules, apply suppressions.
 
-The engine is purely syntactic — one ``ast.parse`` per file, an import
-alias table so rules can resolve ``np.random.default_rng`` through
-``import numpy as np``, and a comment scan for inline suppressions:
+Since PR 7 the engine runs **two phases** (DESIGN.md §10):
+
+1. **Index** — every file is parsed once into a
+   :class:`ModuleContext` (import alias table, suppression tables,
+   dotted module name).  Files that fail to parse become ``SYNTAX``
+   findings and drop out of the later phases.
+2. **Check** — the per-file rules run over each indexed module
+   (optionally fanned out across worker processes via
+   :mod:`repro.parallel`, findings collected in submission order so the
+   report is byte-identical at any worker count), then the project
+   rules run once against the shared
+   :class:`~repro.statan.project.ProjectContext` (symbol table, call
+   graph, extracted schemas).
+
+Suppression comments work identically for both kinds of rule:
 
 * ``# statan: disable=RULE1,RULE2`` on the flagged line suppresses
   those rules for that line only;
@@ -22,12 +34,15 @@ from pathlib import Path, PurePosixPath
 from typing import Iterable, Sequence
 
 from .findings import SEVERITY_ERROR, Finding, assign_fingerprints
-from .rules import Rule, all_rules
+from .rules import Rule, all_project_rules, all_rules
+from .symbols import module_name_for
 
 __all__ = [
     "ModuleContext",
     "analyze_source",
     "analyze_paths",
+    "analyze_tree",
+    "index_paths",
     "iter_python_files",
     "collect_suppressions",
 ]
@@ -93,6 +108,10 @@ class ModuleContext:
         self.tree = tree
         self.segments = PurePosixPath(path).parts
         self.imports = _collect_imports(tree)
+        self.module = module_name_for(path)
+        self.suppressions = collect_suppressions(source)
+        #: Absolute source path, set by index_paths (worker re-reads).
+        self.source_file = path
 
     # -- helpers rules lean on ------------------------------------------------
     def snippet(self, lineno: int) -> str:
@@ -126,33 +145,28 @@ def matches_tail(resolved: str | None, tail: str) -> bool:
     return resolved == tail or resolved.endswith("." + tail)
 
 
-def analyze_source(
-    source: str,
-    path: str = "<snippet>",
-    rules: Sequence[Rule] | None = None,
-) -> list[Finding]:
-    """Analyse one module's source; returns fingerprinted findings with
-    suppressions already applied."""
-    # Rules register on import; defer to avoid a cycle at module load.
-    from . import checks  # noqa: F401
+def _load_rule_modules() -> None:
+    # Rules register on import; deferred to avoid cycles at module load.
+    from . import checks, project_checks, schema_checks  # noqa: F401
 
-    try:
-        tree = ast.parse(source)
-    except SyntaxError as exc:
-        finding = Finding(
-            rule=SYNTAX_RULE,
-            severity=SEVERITY_ERROR,
-            path=path,
-            line=exc.lineno or 1,
-            col=(exc.offset or 1) - 1,
-            message=f"file does not parse: {exc.msg}",
-        )
-        return assign_fingerprints([finding])
 
-    ctx = ModuleContext(path, source, tree)
-    per_line, per_file = collect_suppressions(source)
+def _syntax_finding(path: str, exc: SyntaxError) -> Finding:
+    return Finding(
+        rule=SYNTAX_RULE,
+        severity=SEVERITY_ERROR,
+        path=path,
+        line=exc.lineno or 1,
+        col=(exc.offset or 1) - 1,
+        message=f"file does not parse: {exc.msg}",
+    )
+
+
+def _check_module(ctx: ModuleContext, rules: Sequence[Rule]) -> list[Finding]:
+    """Run per-file rules over one parsed module, suppressions applied.
+    Findings are *not* fingerprinted here (callers batch that)."""
+    per_line, per_file = ctx.suppressions
     findings: list[Finding] = []
-    for rule in rules if rules is not None else all_rules():
+    for rule in rules:
         for finding in rule.check(ctx):
             if finding.rule in per_file or "ALL" in per_file:
                 continue
@@ -160,6 +174,23 @@ def analyze_source(
             if finding.rule in line_rules or "ALL" in line_rules:
                 continue
             findings.append(finding)
+    return findings
+
+
+def analyze_source(
+    source: str,
+    path: str = "<snippet>",
+    rules: Sequence[Rule] | None = None,
+) -> list[Finding]:
+    """Analyse one module's source with the per-file rules; returns
+    fingerprinted findings with suppressions already applied."""
+    _load_rule_modules()
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:
+        return assign_fingerprints([_syntax_finding(path, exc)])
+    ctx = ModuleContext(path, source, tree)
+    findings = _check_module(ctx, rules if rules is not None else all_rules())
     return assign_fingerprints(findings)
 
 
@@ -178,14 +209,149 @@ def iter_python_files(paths: Sequence[str | Path]) -> list[tuple[Path, str]]:
     return out
 
 
+def index_paths(
+    pairs: Sequence[tuple[Path, str]],
+) -> tuple[list[ModuleContext], list[Finding]]:
+    """Phase one: parse every file once.  Returns the indexed modules
+    and the (unfingerprinted) SYNTAX findings for files that failed."""
+    modules: list[ModuleContext] = []
+    syntax: list[Finding] = []
+    for file, label in pairs:
+        source = file.read_text(encoding="utf-8")
+        try:
+            tree = ast.parse(source)
+        except SyntaxError as exc:
+            syntax.append(_syntax_finding(label, exc))
+            continue
+        ctx = ModuleContext(label, source, tree)
+        ctx.source_file = str(file)
+        modules.append(ctx)
+    return modules, syntax
+
+
+def _lint_chunk(chunk: tuple[tuple[str, str], ...]) -> list[Finding]:
+    """Per-file worker job: re-read and check a chunk of files.
+
+    Module-level (picklable) and seed-free by construction — the rules
+    are pure functions of the source text, so chunk results concatenated
+    in submission order equal the serial pass byte for byte.
+    """
+    findings: list[Finding] = []
+    for file, label in chunk:
+        findings.extend(
+            analyze_source(Path(file).read_text(encoding="utf-8"), path=label)
+        )
+    return findings
+
+
+def _per_file_findings(
+    modules: list[ModuleContext], n_jobs: int | None
+) -> list[Finding]:
+    """Phase two (per-file): serial over the already-parsed modules, or
+    fanned out in chunks through :mod:`repro.parallel` with
+    deterministic (submission-order) collection."""
+    resolved = 1
+    if n_jobs is None or n_jobs != 1:
+        from ..parallel import resolve_n_jobs
+
+        resolved = resolve_n_jobs(n_jobs)
+    if resolved > 1 and len(modules) >= 2:
+        from ..parallel import parallel_map
+
+        # Chunk to amortise pickling; chunk count is a pure function of
+        # the file and worker counts, so output order never varies.
+        n_chunks = min(len(modules), resolved * 4)
+        chunks: list[list[tuple[str, str]]] = [[] for _ in range(n_chunks)]
+        for i, ctx in enumerate(modules):
+            chunks[i % n_chunks].append((ctx.source_file, ctx.path))
+        results = parallel_map(
+            _lint_chunk,
+            [(tuple(chunk),) for chunk in chunks if chunk],
+            n_jobs=resolved,
+        )
+        findings: list[Finding] = []
+        for chunk_findings in results:
+            findings.extend(chunk_findings)
+        return findings
+    findings = []
+    for ctx in modules:
+        findings.extend(assign_fingerprints(_check_module(ctx, all_rules())))
+    return findings
+
+
+def analyze_project(modules: list[ModuleContext]) -> tuple[list[Finding], dict]:
+    """Phase two (whole-program): run every project rule against the
+    shared ProjectContext; returns (fingerprinted findings, stats)."""
+    _load_rule_modules()
+    from .project import ProjectContext
+
+    project = ProjectContext(modules)
+    findings: list[Finding] = []
+    for rule in all_project_rules():
+        for finding in rule.check_project(project):
+            if not project.is_suppressed(finding):
+                findings.append(finding)
+    return assign_fingerprints(findings), project.stats()
+
+
+def analyze_tree(
+    paths: Sequence[str | Path],
+    *,
+    n_jobs: int | None = None,
+    per_file_labels: set[str] | None = None,
+    project: bool = True,
+) -> tuple[list[Finding], dict]:
+    """Full two-phase analysis of every ``*.py`` under ``paths``.
+
+    ``per_file_labels`` (``lint --changed``) restricts the per-file
+    rules to that subset of file labels; the project pass always indexes
+    and checks the whole tree, since call graphs and schema bindings
+    cross file boundaries.  Returns findings sorted by
+    (path, line, col, rule) plus project stats for the reporters.
+    """
+    _load_rule_modules()
+    pairs = iter_python_files(paths)
+    modules, syntax = index_paths(pairs)
+
+    scope = modules
+    if per_file_labels is not None:
+        scope = [ctx for ctx in modules if ctx.path in per_file_labels]
+
+    findings = assign_fingerprints(syntax)
+    findings.extend(_per_file_findings(scope, n_jobs))
+
+    stats = {
+        "files": len(pairs),
+        "files_checked_per_file": len(scope),
+    }
+    if project and modules:
+        project_findings, project_stats = analyze_project(modules)
+        findings.extend(project_findings)
+        stats.update(project_stats)
+    return sorted(findings, key=Finding.sort_key), stats
+
+
 def analyze_paths(
     paths: Sequence[str | Path],
     rules: Sequence[Rule] | None = None,
+    *,
+    n_jobs: int | None = None,
+    project: bool = True,
 ) -> list[Finding]:
     """Analyse every ``*.py`` under ``paths``; findings are sorted by
-    (path, line, col, rule)."""
-    findings: list[Finding] = []
-    for file, label in iter_python_files(paths):
-        source = file.read_text(encoding="utf-8")
-        findings.extend(analyze_source(source, path=label, rules=rules))
-    return sorted(findings, key=Finding.sort_key)
+    (path, line, col, rule).
+
+    With an explicit ``rules`` sequence only those per-file rules run
+    (no project pass) — the narrow mode unit tests use.  The default
+    runs the full two-phase analysis.
+    """
+    if rules is not None:
+        findings: list[Finding] = []
+        for file, label in iter_python_files(paths):
+            source = file.read_text(encoding="utf-8")
+            findings.extend(analyze_source(source, path=label, rules=rules))
+        return sorted(findings, key=Finding.sort_key)
+    found, _stats = analyze_tree(
+        paths, n_jobs=n_jobs, project=project
+    )
+    return found

@@ -1,0 +1,212 @@
+"""Project context: what a whole-program rule gets to see.
+
+Built once per lint run (phase one), shared by every
+:class:`~repro.statan.rules.ProjectRule`:
+
+* the parsed :class:`~repro.statan.engine.ModuleContext` per file;
+* the :class:`~repro.statan.symbols.SymbolTable` and
+  :class:`~repro.statan.callgraph.CallGraph`;
+* declared record schemas, extracted *statically* from any indexed
+  module that assigns ``NAME = RecordSchema("...", (Field(...), ...))``
+  — the scanned tree is never imported, so fixture trees and broken
+  checkouts lint the same way as the real package;
+* per-file suppression tables so ``# statan: disable=`` keeps working
+  for project findings.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from .callgraph import CallGraph
+from .engine import matches_tail
+from .symbols import SymbolTable
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only import cycle guard
+    from .engine import ModuleContext
+
+__all__ = ["SchemaField", "SchemaInfo", "ProjectContext", "extract_schemas"]
+
+
+@dataclass(frozen=True)
+class SchemaField:
+    """Statically extracted ``Field(name, kind, nullable=...)``."""
+
+    name: str
+    kind: str
+    nullable: bool = False
+
+
+@dataclass(frozen=True)
+class SchemaInfo:
+    """One ``RecordSchema`` literal found in the scanned tree."""
+
+    name: str                   # the schema's declared record name
+    const_name: str             # the module-level constant it binds to
+    module: str
+    path: str
+    line: int
+    fields: tuple[SchemaField, ...]
+
+    @property
+    def field_names(self) -> tuple[str, ...]:
+        return tuple(f.name for f in self.fields)
+
+    def field(self, name: str) -> SchemaField | None:
+        for f in self.fields:
+            if f.name == name:
+                return f
+        return None
+
+    def __contains__(self, name: str) -> bool:
+        return any(f.name == name for f in self.fields)
+
+
+def _const_str(node: ast.AST) -> str | None:
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    return None
+
+
+def _parse_field(call: ast.Call, ctx: "ModuleContext") -> SchemaField | None:
+    """``Field("name", "kind", nullable=True)`` → SchemaField."""
+    func = call.func
+    named_field = (isinstance(func, ast.Name) and func.id == "Field") or matches_tail(
+        ctx.resolve(func), "Field"
+    )
+    if not named_field:
+        return None
+    args = list(call.args)
+    name = _const_str(args[0]) if args else None
+    kind = _const_str(args[1]) if len(args) > 1 else None
+    if name is None or kind is None:
+        return None
+    nullable = False
+    for kw in call.keywords:
+        if kw.arg == "nullable" and isinstance(kw.value, ast.Constant):
+            nullable = bool(kw.value.value)
+    return SchemaField(name=name, kind=kind, nullable=nullable)
+
+
+def extract_schemas(
+    modules: list["ModuleContext"],
+) -> tuple[dict[str, SchemaInfo], dict[str, SchemaInfo]]:
+    """Statically collect schema constants and collection bindings.
+
+    Returns ``(schemas, collections)`` where ``schemas`` maps the bare
+    constant name (``SLOW_RUN_SCHEMA``) to its extracted definition and
+    ``collections`` maps a store collection name (``slow_runs``) to the
+    schema it is declared with — recovered from any module-level dict
+    literal whose keys are strings and whose values are all schema
+    constants (the ``SCHEMA_BY_COLLECTION`` idiom).
+    """
+    schemas: dict[str, SchemaInfo] = {}
+    collection_candidates: list[tuple[str, dict[str, str]]] = []
+
+    for ctx in sorted(modules, key=lambda m: m.path):
+        for stmt in ctx.tree.body:
+            if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+                target, value = stmt.targets[0], stmt.value
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                target, value = stmt.target, stmt.value
+            else:
+                continue
+            if not isinstance(target, ast.Name):
+                continue
+            if isinstance(value, ast.Call) and matches_tail(
+                ctx.resolve(value.func)
+                or (value.func.id if isinstance(value.func, ast.Name) else None),
+                "RecordSchema",
+            ):
+                schema = _parse_schema(ctx, target.id, value)
+                if schema is not None:
+                    schemas[target.id] = schema
+            elif isinstance(value, ast.Dict):
+                mapping = _parse_collection_map(value)
+                if mapping:
+                    collection_candidates.append((ctx.path, mapping))
+
+    collections: dict[str, SchemaInfo] = {}
+    for _path, mapping in sorted(collection_candidates):
+        if not all(const in schemas for const in mapping.values()):
+            continue
+        for coll, const in mapping.items():
+            collections[coll] = schemas[const]
+    return schemas, collections
+
+
+def _parse_schema(
+    ctx: "ModuleContext", const_name: str, call: ast.Call
+) -> SchemaInfo | None:
+    args = list(call.args)
+    name = _const_str(args[0]) if args else None
+    if name is None or len(args) < 2:
+        return None
+    fields_node = args[1]
+    if not isinstance(fields_node, (ast.Tuple, ast.List)):
+        return None
+    fields: list[SchemaField] = []
+    for element in fields_node.elts:
+        if not isinstance(element, ast.Call):
+            return None
+        parsed = _parse_field(element, ctx)
+        if parsed is None:
+            return None
+        fields.append(parsed)
+    return SchemaInfo(
+        name=name,
+        const_name=const_name,
+        module=ctx.module,
+        path=ctx.path,
+        line=call.lineno,
+        fields=tuple(fields),
+    )
+
+
+def _parse_collection_map(node: ast.Dict) -> dict[str, str]:
+    """``{"slow_runs": SLOW_RUN_SCHEMA, ...}`` → {coll: const name}."""
+    mapping: dict[str, str] = {}
+    for key, value in zip(node.keys, node.values):
+        coll = _const_str(key) if key is not None else None
+        if coll is None or not isinstance(value, ast.Name):
+            return {}
+        mapping[coll] = value.id
+    return mapping
+
+
+class ProjectContext:
+    """Everything the whole-program rules need, built once per run."""
+
+    def __init__(self, modules: list["ModuleContext"]) -> None:
+        self.modules: list["ModuleContext"] = sorted(
+            modules, key=lambda m: m.path
+        )
+        self.by_path: dict[str, "ModuleContext"] = {
+            ctx.path: ctx for ctx in self.modules
+        }
+        self.symbols = SymbolTable.build(self.modules)
+        self.callgraph = CallGraph.build(self.symbols, self.by_path)
+        self.schemas, self.collections = extract_schemas(self.modules)
+        #: path -> (per-line suppressions, file-wide suppressions)
+        self.suppressions: dict[str, tuple[dict[int, set[str]], set[str]]] = {
+            ctx.path: ctx.suppressions for ctx in self.modules
+        }
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "files_indexed": len(self.modules),
+            "functions": len(self.symbols),
+            "classes": len(self.symbols.classes),
+            "call_edges": self.callgraph.n_edges,
+            "schemas": len(self.schemas),
+            "collections": len(self.collections),
+        }
+
+    def is_suppressed(self, finding) -> bool:
+        per_line, per_file = self.suppressions.get(finding.path, ({}, set()))
+        if finding.rule in per_file or "ALL" in per_file:
+            return True
+        line_rules = per_line.get(finding.line, set())
+        return finding.rule in line_rules or "ALL" in line_rules

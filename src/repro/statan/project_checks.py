@@ -1,0 +1,465 @@
+"""Whole-program rules: determinism taint and parallel-capture safety.
+
+========  ============================================================
+DET004    entry-point code transitively reaching a nondeterminism sink
+PAR001    unsafe callable submitted to a parallel executor
+PAR002    worker randomness not passed as an explicit pre-drawn seed
+========  ============================================================
+
+These run once per lint against the
+:class:`~repro.statan.project.ProjectContext` (DESIGN.md §10).  The PAR
+rules encode the :mod:`repro.parallel` executor contract (DESIGN.md
+§8): jobs must be module-level picklable functions, closed over nothing
+mutable, with every RNG seed pre-drawn by the parent and passed as an
+explicit argument.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Iterable, Iterator
+
+from .callgraph import _body_walk
+from .dataflow import ENTRY_PACKAGES, TaintAnalysis
+from .engine import ModuleContext, matches_tail
+from .findings import Finding
+from .rules import ProjectRule, register_project
+from .symbols import FunctionInfo
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only import cycle guard
+    from .project import ProjectContext
+
+__all__ = [
+    "InterproceduralDeterminism",
+    "ParallelCaptureSafety",
+    "ParallelSeedDiscipline",
+]
+
+#: Callables that submit jobs to worker processes: ``parallel_map(fn,
+#: tasks)`` and ``<executor>.map(fn, tasks)``.
+_EXECUTOR_FACTORIES = ("ProcessExecutor", "SerialExecutor", "get_executor")
+
+#: Parameter names that satisfy the explicit-seed contract.
+_SEED_PARAM_HINTS = ("rng", "random_state")
+
+#: Call tails that produce a ``numpy.random.Generator``.
+_GENERATOR_SOURCES = ("default_rng", "check_random_state")
+
+
+def _in_entry_package(info: FunctionInfo) -> bool:
+    from pathlib import PurePosixPath
+
+    return any(seg in ENTRY_PACKAGES for seg in PurePosixPath(info.path).parts)
+
+
+@register_project
+class InterproceduralDeterminism(ProjectRule):
+    """DET004: a simulation/ML/analysis/experiment function reaches an
+    unseeded-RNG, wall-clock, or unordered-iteration sink through one or
+    more call hops.
+
+    The per-file DET rules flag the sink line itself; this rule flags
+    the *entry-domain caller* whose output the sink corrupts, with the
+    concrete call chain in the message.  Suppressed sink lines and the
+    exempt ``obs`` package do not taint (reviewed code stays reviewed).
+    """
+
+    id = "DET004"
+    summary = "entry-point code transitively reaches a nondeterministic sink"
+
+    def check_project(self, project: "ProjectContext") -> Iterable[Finding]:
+        taint = TaintAnalysis(project)
+        if not taint.sinks_by_function:
+            return
+        for info in project.symbols.iter_functions():
+            if not _in_entry_package(info) or taint.is_sink(info.qualname):
+                continue
+            ctx = project.by_path.get(info.path)
+            if ctx is None:
+                continue
+            for site in project.callgraph.callees(info.qualname):
+                if not taint.is_tainted(site.callee):
+                    continue
+                witness = taint.chain_to_sink(site.callee)
+                if witness is None:
+                    continue
+                chain, sink = witness
+                hops = " -> ".join([info.qualname, *chain])
+                yield Finding(
+                    rule=self.id,
+                    severity=self.severity,
+                    path=info.path,
+                    line=site.line,
+                    col=site.col,
+                    message=(
+                        f"reaches a {sink.rule} sink through {hops}: "
+                        f"'{sink.snippet}' ({sink.path}:{sink.line}); thread "
+                        "an injected rng/clock through the call chain instead"
+                    ),
+                    snippet=ctx.snippet(site.line),
+                )
+
+
+class _SubmissionSite:
+    """One ``parallel_map``/``executor.map`` call inside a function."""
+
+    __slots__ = ("call", "fn", "tasks", "owner")
+
+    def __init__(
+        self,
+        call: ast.Call,
+        fn: ast.AST | None,
+        tasks: ast.AST | None,
+        owner: FunctionInfo,
+    ) -> None:
+        self.call = call
+        self.fn = fn
+        self.tasks = tasks
+        self.owner = owner
+
+
+def _executor_vars(info: FunctionInfo, ctx: ModuleContext) -> set[str]:
+    """Local names bound from an executor factory call."""
+    out: set[str] = set()
+    for node in _body_walk(info.node):
+        if not (isinstance(node, ast.Assign) and isinstance(node.value, ast.Call)):
+            continue
+        func = node.value.func
+        resolved = ctx.resolve(func) or (
+            func.id if isinstance(func, ast.Name) else None
+        )
+        if any(matches_tail(resolved, tail) for tail in _EXECUTOR_FACTORIES):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    out.add(target.id)
+    return out
+
+
+def _submission_sites(
+    project: "ProjectContext",
+) -> Iterator[tuple[ModuleContext, _SubmissionSite]]:
+    """Every statically visible job submission, in deterministic order."""
+    for info in project.symbols.iter_functions():
+        ctx = project.by_path.get(info.path)
+        if ctx is None:
+            continue
+        executors = _executor_vars(info, ctx)
+        for node in _body_walk(info.node):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            resolved = ctx.resolve(func) or (
+                func.id if isinstance(func, ast.Name) else None
+            )
+            submits = matches_tail(resolved, "parallel_map")
+            if not submits and isinstance(func, ast.Attribute) and func.attr == "map":
+                recv = func.value
+                if isinstance(recv, ast.Name) and recv.id in executors:
+                    submits = True
+                elif isinstance(recv, ast.Call):
+                    recv_resolved = ctx.resolve(recv.func) or (
+                        recv.func.id if isinstance(recv.func, ast.Name) else None
+                    )
+                    submits = any(
+                        matches_tail(recv_resolved, tail)
+                        for tail in _EXECUTOR_FACTORIES
+                    )
+            if submits:
+                fn = node.args[0] if node.args else None
+                tasks = node.args[1] if len(node.args) > 1 else None
+                yield ctx, _SubmissionSite(node, fn, tasks, info)
+
+
+def _resolve_worker(
+    project: "ProjectContext", ctx: ModuleContext, owner: FunctionInfo, name: str
+) -> FunctionInfo | None:
+    """The module-level function a submitted Name refers to, if any."""
+    symbols = project.symbols
+    local = symbols.module_functions.get((ctx.module, name))
+    if local:
+        return symbols.functions[local]
+    imported = ctx.imports.get(name)
+    if imported:
+        hits = symbols.resolve_dotted(imported)
+        for qual in hits:
+            info = symbols.functions.get(qual)
+            if info is not None and not info.is_nested and not info.is_method:
+                return info
+    return None
+
+
+def _module_level_mutables(ctx: ModuleContext) -> set[str]:
+    """Module-global names bound to mutable containers at top level."""
+    mutables: set[str] = set()
+    mutable_calls = ("list", "dict", "set", "defaultdict", "Counter", "deque")
+    for stmt in ctx.tree.body:
+        targets: list[ast.AST] = []
+        if isinstance(stmt, ast.Assign):
+            targets, value = stmt.targets, stmt.value
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            targets, value = [stmt.target], stmt.value
+        else:
+            continue
+        is_mutable = isinstance(
+            value, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)
+        )
+        if not is_mutable and isinstance(value, ast.Call):
+            func = value.func
+            bare = func.id if isinstance(func, ast.Name) else getattr(func, "attr", "")
+            is_mutable = bare in mutable_calls
+        if not is_mutable:
+            continue
+        for target in targets:
+            if isinstance(target, ast.Name):
+                mutables.add(target.id)
+    return mutables
+
+
+_ACCUMULATING_METHODS = frozenset({"append", "extend", "add", "update", "insert"})
+
+
+def _global_accumulations(
+    worker: FunctionInfo, worker_ctx: ModuleContext
+) -> list[tuple[str, int]]:
+    """(name, line) pairs where the worker accumulates into a module
+    global.  Plain reads and per-process memo caches (subscript stores)
+    are allowed — results that must flow back do so via return values.
+    """
+    mutables = _module_level_mutables(worker_ctx)
+    if not mutables:
+        return []
+    locals_: set[str] = set(worker.params)
+    for node in _body_walk(worker.node):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    locals_.add(target.id)
+    hits: list[tuple[str, int]] = []
+    for node in _body_walk(worker.node):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in _ACCUMULATING_METHODS
+            and isinstance(node.func.value, ast.Name)
+        ):
+            name = node.func.value.id
+            if name in mutables and name not in locals_:
+                hits.append((name, node.lineno))
+        elif isinstance(node, ast.AugAssign) and isinstance(node.target, ast.Name):
+            name = node.target.id
+            if name in mutables and name not in locals_:
+                hits.append((name, node.lineno))
+    return sorted(hits)
+
+
+def _generator_locals(info: FunctionInfo, ctx: ModuleContext) -> set[str]:
+    """Local names (including parameters) holding a numpy Generator."""
+    out: set[str] = set()
+    args = info.node.args
+    for arg in args.posonlyargs + args.args + args.kwonlyargs:
+        annotation = arg.annotation
+        annotated = False
+        if annotation is not None:
+            dotted = ctx.resolve(annotation) or (
+                annotation.id if isinstance(annotation, ast.Name) else None
+            )
+            annotated = matches_tail(dotted, "Generator") or (
+                dotted is not None and dotted.endswith("random.Generator")
+            )
+        if annotated or arg.arg == "rng":
+            out.add(arg.arg)
+    for node in _body_walk(info.node):
+        if not (isinstance(node, ast.Assign) and isinstance(node.value, ast.Call)):
+            continue
+        func = node.value.func
+        resolved = ctx.resolve(func) or (
+            func.id if isinstance(func, ast.Name) else None
+        )
+        from_source = any(
+            matches_tail(resolved, tail) for tail in _GENERATOR_SOURCES
+        )
+        spawned = isinstance(func, ast.Attribute) and func.attr == "spawn"
+        for target in node.targets:
+            if isinstance(target, ast.Name) and (
+                from_source or spawned or target.id == "rng"
+            ):
+                out.add(target.id)
+    return out
+
+
+def _uses_randomness(worker: FunctionInfo, worker_ctx: ModuleContext) -> bool:
+    """Whether the worker's own body draws or constructs randomness."""
+    for node in _body_walk(worker.node):
+        if not isinstance(node, ast.Call):
+            continue
+        resolved = worker_ctx.resolve(node.func) or (
+            node.func.id if isinstance(node.func, ast.Name) else None
+        )
+        if resolved is None:
+            continue
+        if resolved == "random" or resolved.startswith(("random.", "numpy.random")):
+            return True
+        if matches_tail(resolved, "default_rng"):
+            return True
+    return False
+
+
+def _takes_explicit_seed(worker: FunctionInfo) -> bool:
+    return any(
+        "seed" in param or param in _SEED_PARAM_HINTS for param in worker.params
+    )
+
+
+def _project_finding(
+    rule: ProjectRule, ctx: ModuleContext, node: ast.AST, message: str
+) -> Finding:
+    line = getattr(node, "lineno", 1)
+    return Finding(
+        rule=rule.id,
+        severity=rule.severity,
+        path=ctx.path,
+        line=line,
+        col=getattr(node, "col_offset", 0),
+        message=message,
+        snippet=ctx.snippet(line),
+    )
+
+
+@register_project
+class ParallelCaptureSafety(ProjectRule):
+    """PAR001: callables shipped to worker processes must be module-level
+    functions closed over nothing.
+
+    Lambdas and nested ``def``s cannot be pickled by qualified name and
+    silently capture enclosing state; module-level workers that
+    accumulate into a module-global container lose those writes when
+    the worker process exits (results must travel via return values —
+    the executor contract, DESIGN.md §8).
+    """
+
+    id = "PAR001"
+    summary = "unsafe callable submitted to a parallel executor"
+
+    def check_project(self, project: "ProjectContext") -> Iterable[Finding]:
+        for ctx, site in _submission_sites(project):
+            fn = site.fn
+            if fn is None:
+                continue
+            if isinstance(fn, ast.Lambda):
+                yield _project_finding(
+                    self, ctx, fn,
+                    "lambda submitted to a parallel executor is not "
+                    "picklable and closes over the enclosing frame; use a "
+                    "module-level worker function",
+                )
+                continue
+            if not isinstance(fn, ast.Name):
+                continue
+            nested_qual = f"{site.owner.qualname}.<locals>.{fn.id}"
+            nested = project.symbols.functions.get(nested_qual)
+            if nested is not None:
+                captured = self._captured_names(site.owner, nested)
+                generators = sorted(
+                    captured & _generator_locals(site.owner, ctx)
+                )
+                detail = (
+                    f" (captures Generator {', '.join(repr(g) for g in generators)})"
+                    if generators
+                    else (f" (captures {', '.join(sorted(captured))})" if captured else "")
+                )
+                yield _project_finding(
+                    self, ctx, fn,
+                    f"nested function '{fn.id}' submitted to a parallel "
+                    f"executor cannot be pickled{detail}; hoist it to module "
+                    "level and pass state through the task tuple",
+                )
+                continue
+            worker = _resolve_worker(project, ctx, site.owner, fn.id)
+            if worker is None:
+                continue
+            worker_ctx = project.by_path.get(worker.path)
+            if worker_ctx is None:
+                continue
+            for name, line in _global_accumulations(worker, worker_ctx):
+                yield _project_finding(
+                    self, ctx, fn,
+                    f"worker '{worker.qualname}' accumulates into module "
+                    f"global '{name}' ({worker.path}:{line}); worker-side "
+                    "writes are lost on process exit — return the values "
+                    "instead",
+                )
+
+    def _captured_names(
+        self, owner: FunctionInfo, nested: FunctionInfo
+    ) -> set[str]:
+        """Free names of the nested def that are locals of the owner."""
+        owner_locals: set[str] = set(owner.params)
+        for node in _body_walk(owner.node):
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        owner_locals.add(target.id)
+        inner_bound: set[str] = set(nested.params)
+        loads: set[str] = set()
+        for node in ast.walk(nested.node):
+            if isinstance(node, ast.Name):
+                if isinstance(node.ctx, ast.Store):
+                    inner_bound.add(node.id)
+                else:
+                    loads.add(node.id)
+        return (loads - inner_bound) & owner_locals
+
+
+@register_project
+class ParallelSeedDiscipline(ProjectRule):
+    """PAR002: worker randomness must arrive as an explicit pre-drawn
+    seed, never as a shipped ``Generator``.
+
+    A Generator passed in a task tuple is pickled by state: the parent's
+    instance never advances, and every worker that receives the same
+    object draws identical streams — both silently break the
+    seeds-before-fan-out contract.  Workers that draw randomness must
+    take a ``seed``/``rng`` parameter filled from
+    ``repro.parallel.seeding.draw_seeds``.
+    """
+
+    id = "PAR002"
+    summary = "parallel worker randomness without an explicit seed parameter"
+
+    def check_project(self, project: "ProjectContext") -> Iterable[Finding]:
+        for ctx, site in _submission_sites(project):
+            generators = _generator_locals(site.owner, ctx)
+            if site.tasks is not None and generators:
+                flagged: set[str] = set()
+                for node in ast.walk(site.tasks):
+                    if (
+                        isinstance(node, ast.Name)
+                        and isinstance(node.ctx, ast.Load)
+                        and node.id in generators
+                        and node.id not in flagged
+                    ):
+                        flagged.add(node.id)
+                        yield _project_finding(
+                            self, ctx, node,
+                            f"task arguments ship Generator '{node.id}' to "
+                            "worker processes; pre-draw integer seeds with "
+                            "repro.parallel.seeding.draw_seeds and pass "
+                            "those instead",
+                        )
+            if not isinstance(site.fn, ast.Name):
+                continue
+            worker = _resolve_worker(project, ctx, site.owner, site.fn.id)
+            if worker is None:
+                continue
+            worker_ctx = project.by_path.get(worker.path)
+            if worker_ctx is None:
+                continue
+            if _uses_randomness(worker, worker_ctx) and not _takes_explicit_seed(
+                worker
+            ):
+                yield _project_finding(
+                    self, ctx, site.fn,
+                    f"worker '{worker.qualname}' draws randomness but takes "
+                    "no explicit seed parameter; pass a pre-drawn seed "
+                    "through the task tuple (seeds-before-fan-out contract)",
+                )

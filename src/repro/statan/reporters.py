@@ -6,7 +6,7 @@ import json
 
 from .findings import Finding
 
-__all__ = ["LintResult", "render_text", "render_json"]
+__all__ = ["LintResult", "render_text", "render_json", "summary_line"]
 
 
 class LintResult:
@@ -18,15 +18,53 @@ class LintResult:
         baselined: list[Finding],
         stale: list[dict],
         files_checked: int,
+        stats: dict | None = None,
+        baseline_path: str = "statan-baseline.json",
     ) -> None:
         self.new = new
         self.baselined = baselined
         self.stale = stale
         self.files_checked = files_checked
+        #: Index/project statistics from the engine (files indexed,
+        #: functions, call-graph edges, schemas, ...), when available.
+        self.stats = stats or {}
+        self.baseline_path = baseline_path
 
     @property
     def exit_code(self) -> int:
-        return 1 if self.new else 0
+        # Stale entries fail the gate too: a baseline referencing fixed
+        # findings would silently re-admit them if they regressed at a
+        # different fingerprint-adjacent spot, and it accretes forever.
+        return 1 if self.new or self.stale else 0
+
+
+def _rule_counts(findings: list[Finding]) -> str:
+    counts: dict[str, int] = {}
+    for finding in findings:
+        counts[finding.rule] = counts.get(finding.rule, 0) + 1
+    return ", ".join(f"{rule}: {n}" for rule, n in sorted(counts.items()))
+
+
+def summary_line(result: LintResult) -> str:
+    """One-line run summary (also what CI prints into the job log)."""
+    by_rule = _rule_counts(result.new)
+    summary = (
+        f"checked {result.files_checked} files: "
+        f"{len(result.new)} new finding(s)"
+        + (f" ({by_rule})" if by_rule else "")
+        + f", {len(result.baselined)} baselined"
+    )
+    if result.stale:
+        summary += f", {len(result.stale)} stale baseline entr(y/ies)"
+    stats = result.stats
+    if stats.get("files_indexed"):
+        summary += (
+            f" | project: {stats['files_indexed']} files indexed, "
+            f"{stats.get('functions', 0)} functions, "
+            f"{stats.get('call_edges', 0)} call-graph edges, "
+            f"{stats.get('schemas', 0)} schemas"
+        )
+    return summary
 
 
 def render_text(result: LintResult, verbose_baseline: bool = False) -> str:
@@ -40,23 +78,22 @@ def render_text(result: LintResult, verbose_baseline: bool = False) -> str:
             lines.append(f"{finding.format_text()}  (baselined)")
     if lines:
         lines.append("")
-    counts: dict[str, int] = {}
-    for finding in result.new:
-        counts[finding.rule] = counts.get(finding.rule, 0) + 1
-    by_rule = ", ".join(f"{rule}: {n}" for rule, n in sorted(counts.items()))
-    summary = (
-        f"checked {result.files_checked} files: "
-        f"{len(result.new)} new finding(s)"
-        + (f" ({by_rule})" if by_rule else "")
-        + f", {len(result.baselined)} baselined"
-    )
+    lines.append(summary_line(result))
     if result.stale:
-        summary += f", {len(result.stale)} stale baseline entr(y/ies)"
-    lines.append(summary)
-    if result.stale:
-        lines.append("stale baseline entries (fixed findings — prune with --update-baseline):")
+        lines.append(
+            "stale baseline entries (the tree no longer produces these "
+            "findings):"
+        )
         for entry in result.stale:
-            lines.append(f"    {entry['path']}: {entry['rule']}: {entry['snippet']}")
+            lines.append(
+                f"    {entry['fingerprint']}  {entry['path']}: "
+                f"{entry['rule']}: {entry['snippet']}"
+            )
+        lines.append(
+            f"fix: remove the entries above from {result.baseline_path}, "
+            "or rerun with --update-baseline after verifying no finding "
+            "was lost"
+        )
     return "\n".join(lines)
 
 
@@ -64,11 +101,13 @@ def render_json(result: LintResult) -> str:
     payload = {
         "version": 1,
         "files_checked": result.files_checked,
+        "stats": result.stats,
         "summary": {
             "new": len(result.new),
             "baselined": len(result.baselined),
             "stale_baseline": len(result.stale),
         },
+        "summary_line": summary_line(result),
         "findings": (
             [dict(f.to_json(), baselined=False) for f in result.new]
             + [dict(f.to_json(), baselined=True) for f in result.baselined]

@@ -15,8 +15,18 @@ from .findings import SEVERITY_ERROR, Finding
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
     from .engine import ModuleContext
+    from .project import ProjectContext
 
-__all__ = ["Rule", "register", "all_rules", "rule_ids", "get_rule"]
+__all__ = [
+    "Rule",
+    "ProjectRule",
+    "register",
+    "register_project",
+    "all_rules",
+    "all_project_rules",
+    "rule_ids",
+    "get_rule",
+]
 
 
 class Rule:
@@ -42,7 +52,25 @@ class Rule:
         )
 
 
+class ProjectRule(Rule):
+    """A whole-program check run once per lint against the
+    :class:`~repro.statan.project.ProjectContext` (DESIGN.md §10).
+
+    Project rules see the symbol table, call graph and extracted
+    schemas; they report findings through the module contexts the
+    project indexes, and the engine applies inline suppressions and
+    fingerprints afterwards.
+    """
+
+    def check(self, ctx: "ModuleContext") -> Iterable[Finding]:
+        return ()
+
+    def check_project(self, project: "ProjectContext") -> Iterable[Finding]:
+        raise NotImplementedError
+
+
 _REGISTRY: dict[str, Rule] = {}
+_PROJECT_REGISTRY: dict[str, ProjectRule] = {}
 
 
 def register(cls: type[Rule]) -> type[Rule]:
@@ -50,19 +78,32 @@ def register(cls: type[Rule]) -> type[Rule]:
     rule = cls()
     if not rule.id:
         raise ValueError(f"rule {cls.__name__} has no id")
-    if rule.id in _REGISTRY:
+    if rule.id in _REGISTRY or rule.id in _PROJECT_REGISTRY:
         raise ValueError(f"duplicate rule id {rule.id}")
-    _REGISTRY[rule.id] = rule
+    if isinstance(rule, ProjectRule):
+        _PROJECT_REGISTRY[rule.id] = rule
+    else:
+        _REGISTRY[rule.id] = rule
     return cls
+
+
+#: Alias that reads better on ProjectRule subclasses.
+register_project = register
 
 
 def all_rules() -> list[Rule]:
     return [_REGISTRY[rule_id] for rule_id in sorted(_REGISTRY)]
 
 
+def all_project_rules() -> list[ProjectRule]:
+    return [_PROJECT_REGISTRY[rule_id] for rule_id in sorted(_PROJECT_REGISTRY)]
+
+
 def rule_ids() -> list[str]:
-    return sorted(_REGISTRY)
+    return sorted(set(_REGISTRY) | set(_PROJECT_REGISTRY))
 
 
 def get_rule(rule_id: str) -> Rule:
-    return _REGISTRY[rule_id]
+    if rule_id in _REGISTRY:
+        return _REGISTRY[rule_id]
+    return _PROJECT_REGISTRY[rule_id]

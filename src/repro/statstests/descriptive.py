@@ -56,9 +56,13 @@ def summarize(values) -> Summary:
     if arr.size == 0:
         return Summary(0, float("nan"), float("nan"), float("nan"),
                        float("nan"), float("nan"), float("nan"), float("nan"), 0.0)
+    # Pairwise summation can land the mean one ULP outside [min, max]
+    # (e.g. three copies of the same value); clamp so the invariant
+    # min <= mean <= max holds exactly.
+    mean = float(min(max(arr.mean(), arr.min()), arr.max()))
     return Summary(
         n=int(arr.size),
-        mean=float(arr.mean()),
+        mean=mean,
         median=float(np.median(arr)),
         std=float(arr.std(ddof=1)) if arr.size > 1 else 0.0,
         minimum=float(arr.min()),

@@ -1,0 +1,20 @@
+"""Shared fixtures for the statan test suite."""
+
+from pathlib import Path
+
+import pytest
+
+
+@pytest.fixture()
+def write_tree(tmp_path):
+    """Materialise ``{relative_path: source}`` under a tmp dir and
+    return the root; scan labels equal the relative paths."""
+
+    def _write(files: dict[str, str]) -> Path:
+        for rel, source in files.items():
+            target = tmp_path / rel
+            target.parent.mkdir(parents=True, exist_ok=True)
+            target.write_text(source, encoding="utf-8")
+        return tmp_path
+
+    return _write

@@ -1,0 +1,92 @@
+"""DET004: interprocedural determinism taint over the call graph."""
+
+from repro.statan.engine import analyze_tree
+
+
+def rules_fired(root, rule):
+    findings, _ = analyze_tree([root])
+    return [f for f in findings if f.rule == rule]
+
+
+TWO_HOP = {
+    "simulation/helpers.py": (
+        "import numpy as np\n"
+        "\n"
+        "def jitter(values):\n"
+        "    return values + np.random.normal()\n"
+        "\n"
+        "def middle(values):\n"
+        "    return jitter(values)\n"
+    ),
+    "simulation/world.py": (
+        "from .helpers import middle\n"
+        "\n"
+        "def run_world(values):\n"
+        "    return middle(values)\n"
+    ),
+}
+
+
+class TestDet004:
+    def test_two_hop_unseeded_rng_is_flagged(self, write_tree):
+        root = write_tree(TWO_HOP)
+        findings = rules_fired(root, "DET004")
+        paths = {(f.path, f.line) for f in findings}
+        # run_world's call to middle and middle's call to jitter; jitter
+        # itself is the DET001 site, not a DET004 one.
+        assert ("simulation/world.py", 4) in paths
+        assert ("simulation/helpers.py", 7) in paths
+
+    def test_message_carries_the_witness_chain(self, write_tree):
+        root = write_tree(TWO_HOP)
+        by_path = {f.path: f for f in rules_fired(root, "DET004")}
+        message = by_path["simulation/world.py"].message
+        assert "simulation.world.run_world" in message
+        assert "simulation.helpers.middle" in message
+        assert "simulation.helpers.jitter" in message
+        assert "DET001" in message
+
+    def test_sink_function_not_double_reported(self, write_tree):
+        root = write_tree(TWO_HOP)
+        findings, _ = analyze_tree([root])
+        det001 = [(f.path, f.line) for f in findings if f.rule == "DET001"]
+        det004 = [(f.path, f.line) for f in findings if f.rule == "DET004"]
+        assert det001 == [("simulation/helpers.py", 4)]
+        assert ("simulation/helpers.py", 4) not in det004
+
+    def test_suppressed_sink_does_not_taint(self, write_tree):
+        files = dict(TWO_HOP)
+        files["simulation/helpers.py"] = files["simulation/helpers.py"].replace(
+            "np.random.normal()",
+            "np.random.normal()  # statan: disable=DET001",
+        )
+        root = write_tree(files)
+        assert rules_fired(root, "DET004") == []
+
+    def test_non_entry_package_callers_are_not_flagged(self, write_tree):
+        root = write_tree({
+            "tools/helpers.py": (
+                "import numpy as np\n"
+                "\n"
+                "def jitter():\n"
+                "    return np.random.normal()\n"
+                "\n"
+                "def entry():\n"
+                "    return jitter()\n"
+            ),
+        })
+        assert rules_fired(root, "DET004") == []
+
+    def test_clean_entry_package_is_silent(self, write_tree):
+        root = write_tree({
+            "simulation/world.py": (
+                "import numpy as np\n"
+                "\n"
+                "def step(rng):\n"
+                "    return rng.normal()\n"
+                "\n"
+                "def run(rng):\n"
+                "    return step(rng)\n"
+            ),
+        })
+        assert rules_fired(root, "DET004") == []

@@ -1,0 +1,142 @@
+"""CLI behaviours new in the whole-program analyzer: parallel identity,
+``--changed`` scoping, and stale-baseline failure."""
+
+import json
+
+from repro.cli import main
+from repro.statan import cli as statan_cli
+
+FILES = {
+    "pkg/clean.py": "def f(x):\n    return x\n",
+    "pkg/buggy.py": "def f(xs=[]):\n    return xs\n",
+    "pkg/wall.py": "import time\n\ndef now():\n    return time.time()\n",
+}
+
+
+def write(tmp_path, files=FILES):
+    root = tmp_path / "tree"
+    for rel, source in files.items():
+        target = root / rel
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(source)
+    return root
+
+
+class TestParallelIdentity:
+    def test_reports_are_byte_identical_at_any_worker_count(
+        self, tmp_path, capsys
+    ):
+        root = write(tmp_path)
+        baseline = tmp_path / "b.json"
+        outputs = []
+        for jobs in ("1", "3"):
+            main(["lint", str(root), "--baseline", str(baseline),
+                  "--format", "json", "--n-jobs", jobs])
+            outputs.append(capsys.readouterr().out)
+        assert outputs[0] == outputs[1]
+        payload = json.loads(outputs[0])
+        assert payload["summary"]["new"] == 2  # BUG001 + DET002
+
+    def test_global_n_jobs_flag_reaches_lint(self, tmp_path, capsys):
+        # The subcommand default is SUPPRESSed so the root parser's
+        # --n-jobs value survives subparser parsing.
+        root = write(tmp_path)
+        main(["--n-jobs", "2", "lint", str(root),
+              "--baseline", str(tmp_path / "b.json"), "--format", "json"])
+        serial = capsys.readouterr().out
+        main(["lint", str(root), "--baseline", str(tmp_path / "b.json"),
+              "--format", "json"])
+        assert json.loads(serial)["findings"] == json.loads(
+            capsys.readouterr().out
+        )["findings"]
+
+
+class TestChangedScoping:
+    def test_changed_limits_per_file_rules(self, tmp_path, capsys, monkeypatch):
+        root = write(tmp_path)
+        monkeypatch.setattr(
+            statan_cli, "_changed_labels", lambda paths: {"pkg/buggy.py"}
+        )
+        code = main(["lint", str(root), "--changed",
+                     "--baseline", str(tmp_path / "b.json"), "--format", "json"])
+        payload = json.loads(capsys.readouterr().out)
+        rules = {f["rule"] for f in payload["findings"]}
+        assert code == 1
+        assert rules == {"BUG001"}  # wall.py's DET002 is out of scope
+        assert payload["stats"]["files_checked_per_file"] == 1
+        assert payload["stats"]["files_indexed"] == 3  # project pass is full
+
+    def test_changed_skips_stale_baseline_check(self, tmp_path, capsys, monkeypatch):
+        root = write(tmp_path)
+        baseline = tmp_path / "b.json"
+        assert main(["lint", str(root), "--baseline", str(baseline),
+                     "--update-baseline"]) == 0
+        monkeypatch.setattr(
+            statan_cli, "_changed_labels", lambda paths: {"pkg/clean.py"}
+        )
+        # Scoped run sees none of the baselined findings; that must not
+        # read as a stale baseline.
+        code = main(["lint", str(root), "--changed",
+                     "--baseline", str(baseline), "--format", "json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert payload["summary"]["stale_baseline"] == 0
+
+    def test_changed_without_git_falls_back_to_full_tree(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        root = write(tmp_path)
+        monkeypatch.setattr(statan_cli, "_git_changed_files", lambda: None)
+        code = main(["lint", str(root), "--changed",
+                     "--baseline", str(tmp_path / "b.json"), "--format", "json"])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "git unavailable" in captured.err
+        assert json.loads(captured.out)["summary"]["new"] == 2
+
+    def test_changed_conflicts_with_update_baseline(self, tmp_path, capsys):
+        root = write(tmp_path)
+        assert main(["lint", str(root), "--changed", "--update-baseline",
+                     "--baseline", str(tmp_path / "b.json")]) == 2
+
+    def test_changed_labels_map_repo_paths_to_scan_labels(
+        self, tmp_path, monkeypatch
+    ):
+        write(tmp_path)
+        monkeypatch.chdir(tmp_path)
+        monkeypatch.setattr(
+            statan_cli, "_git_changed_files",
+            lambda: ["tree/pkg/buggy.py", "elsewhere/x.py"],
+        )
+        assert statan_cli._changed_labels(["tree"]) == {"pkg/buggy.py"}
+
+
+class TestStaleBaseline:
+    def test_stale_entry_fails_with_fingerprint_and_hint(self, tmp_path, capsys):
+        root = write(tmp_path)
+        baseline = tmp_path / "b.json"
+        assert main(["lint", str(root), "--baseline", str(baseline),
+                     "--update-baseline"]) == 0
+        # Fix the wall-clock finding: its baseline entry goes stale.
+        (root / "pkg" / "wall.py").write_text("def now(clock):\n    return clock()\n")
+        code = main(["lint", str(root), "--baseline", str(baseline)])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "stale baseline" in out
+        entries = json.loads(baseline.read_text())["findings"]
+        stale = [e for e in entries if e["rule"] == "DET002"]
+        assert stale and stale[0]["fingerprint"] in out
+        assert "--update-baseline" in out
+
+    def test_stale_entries_counted_in_json(self, tmp_path, capsys):
+        root = write(tmp_path)
+        baseline = tmp_path / "b.json"
+        main(["lint", str(root), "--baseline", str(baseline), "--update-baseline"])
+        (root / "pkg" / "wall.py").write_text("def now(clock):\n    return clock()\n")
+        capsys.readouterr()
+        code = main(["lint", str(root), "--baseline", str(baseline),
+                     "--format", "json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 1
+        assert payload["summary"]["stale_baseline"] == 1
+        assert payload["summary"]["new"] == 0

@@ -1,0 +1,198 @@
+"""Symbol table, call graph, and schema extraction over fixture trees."""
+
+import pytest
+
+from repro.statan.engine import index_paths, iter_python_files
+from repro.statan.project import ProjectContext
+from repro.statan.symbols import module_name_for
+
+
+def build_project(write_tree, files) -> ProjectContext:
+    root = write_tree(files)
+    modules, syntax = index_paths(iter_python_files([root]))
+    assert syntax == []
+    return ProjectContext(modules)
+
+
+class TestModuleNames:
+    @pytest.mark.parametrize(
+        "label, expected",
+        [
+            ("repro/ml/forest.py", "repro.ml.forest"),
+            ("repro/frames/__init__.py", "repro.frames"),
+            ("single.py", "single"),
+        ],
+    )
+    def test_labels_to_dotted_modules(self, label, expected):
+        assert module_name_for(label) == expected
+
+
+class TestSymbolTable:
+    def test_functions_methods_and_nested_defs(self, write_tree):
+        project = build_project(write_tree, {
+            "pkg/mod.py": (
+                "def top():\n"
+                "    def inner():\n"
+                "        return 1\n"
+                "    return inner()\n"
+                "\n"
+                "class Thing:\n"
+                "    def method(self):\n"
+                "        return top()\n"
+            ),
+        })
+        symbols = project.symbols
+        assert "pkg.mod.top" in symbols.functions
+        assert "pkg.mod.top.<locals>.inner" in symbols.functions
+        assert symbols.functions["pkg.mod.top.<locals>.inner"].is_nested
+        assert "pkg.mod.Thing.method" in symbols.functions
+        assert symbols.functions["pkg.mod.Thing.method"].is_method
+        assert symbols.classes["pkg.mod.Thing"].methods["method"] == (
+            "pkg.mod.Thing.method"
+        )
+
+    def test_decorated_functions_keep_their_symbol(self, write_tree):
+        project = build_project(write_tree, {
+            "pkg/mod.py": (
+                "import functools\n"
+                "\n"
+                "def wrap(fn):\n"
+                "    @functools.wraps(fn)\n"
+                "    def inner(*a):\n"
+                "        return fn(*a)\n"
+                "    return inner\n"
+                "\n"
+                "@wrap\n"
+                "def decorated():\n"
+                "    return 1\n"
+            ),
+        })
+        info = project.symbols.functions["pkg.mod.decorated"]
+        assert info.decorators == ("wrap",)
+
+    def test_function_at_returns_innermost_span(self, write_tree):
+        project = build_project(write_tree, {
+            "pkg/mod.py": (
+                "def outer():\n"
+                "    def inner():\n"
+                "        return 1\n"
+                "    return inner()\n"
+            ),
+        })
+        hit = project.symbols.function_at("pkg/mod.py", 3)
+        assert hit is not None and hit.qualname == "pkg.mod.outer.<locals>.inner"
+
+
+class TestCallGraph:
+    def test_helper_indirection_across_modules(self, write_tree):
+        project = build_project(write_tree, {
+            "pkg/helpers.py": "def leaf():\n    return 1\n",
+            "pkg/mod.py": (
+                "from .helpers import leaf\n"
+                "\n"
+                "def middle():\n"
+                "    return leaf()\n"
+                "\n"
+                "def entry():\n"
+                "    return middle()\n"
+            ),
+        })
+        edges = {s.callee for s in project.callgraph.callees("pkg.mod.entry")}
+        assert edges == {"pkg.mod.middle"}
+        edges = {s.callee for s in project.callgraph.callees("pkg.mod.middle")}
+        assert edges == {"pkg.helpers.leaf"}
+
+    def test_self_dispatch_and_one_base_level(self, write_tree):
+        project = build_project(write_tree, {
+            "pkg/mod.py": (
+                "class Base:\n"
+                "    def shared(self):\n"
+                "        return 1\n"
+                "\n"
+                "class Child(Base):\n"
+                "    def go(self):\n"
+                "        return self.shared()\n"
+            ),
+        })
+        edges = {s.callee for s in project.callgraph.callees("pkg.mod.Child.go")}
+        assert "pkg.mod.Base.shared" in edges
+
+    def test_typed_local_dispatch(self, write_tree):
+        project = build_project(write_tree, {
+            "pkg/mod.py": (
+                "class Runner:\n"
+                "    def run(self):\n"
+                "        return 1\n"
+                "\n"
+                "def entry():\n"
+                "    r = Runner()\n"
+                "    return r.run()\n"
+            ),
+        })
+        edges = {s.callee for s in project.callgraph.callees("pkg.mod.entry")}
+        assert "pkg.mod.Runner.run" in edges
+
+    def test_known_unsound_container_dispatch_has_no_edge(self, write_tree):
+        # Documented soundness hole (DESIGN.md §10): callables stored in
+        # containers are invisible — the graph must NOT invent an edge.
+        project = build_project(write_tree, {
+            "pkg/mod.py": (
+                "def leaf():\n"
+                "    return 1\n"
+                "\n"
+                "TABLE = {'k': leaf}\n"
+                "\n"
+                "def entry():\n"
+                "    return TABLE['k']()\n"
+            ),
+        })
+        assert project.callgraph.callees("pkg.mod.entry") == []
+
+    def test_reverse_reachability_with_witness_chain(self, write_tree):
+        project = build_project(write_tree, {
+            "pkg/mod.py": (
+                "def sink():\n"
+                "    return 1\n"
+                "\n"
+                "def mid():\n"
+                "    return sink()\n"
+                "\n"
+                "def entry():\n"
+                "    return mid()\n"
+            ),
+        })
+        witness = project.callgraph.reachable_from({"pkg.mod.sink"})
+        assert set(witness) == {"pkg.mod.sink", "pkg.mod.mid", "pkg.mod.entry"}
+        chain = project.callgraph.chain("pkg.mod.entry", witness)
+        assert chain == ["pkg.mod.entry", "pkg.mod.mid", "pkg.mod.sink"]
+
+
+class TestSchemaExtraction:
+    FILES = {
+        "frames/schema.py": (
+            "from repro.frames.schema import Field, RecordSchema\n"
+            "\n"
+            'RUN_SCHEMA = RecordSchema("run", (\n'
+            '    Field("run_id", "str"),\n'
+            '    Field("elapsed", "float", nullable=True),\n'
+            "))\n"
+            "\n"
+            'BY_COLLECTION: dict = {"runs": RUN_SCHEMA}\n'
+        ),
+    }
+
+    def test_schema_constants_and_collection_map(self, write_tree):
+        project = build_project(write_tree, self.FILES)
+        assert set(project.schemas) == {"RUN_SCHEMA"}
+        schema = project.schemas["RUN_SCHEMA"]
+        assert schema.name == "run"
+        assert schema.field_names == ("run_id", "elapsed")
+        assert schema.field("elapsed").nullable
+        assert project.collections["runs"] is schema
+
+    def test_stats_counts(self, write_tree):
+        project = build_project(write_tree, self.FILES)
+        stats = project.stats()
+        assert stats["files_indexed"] == 1
+        assert stats["schemas"] == 1
+        assert stats["collections"] == 1

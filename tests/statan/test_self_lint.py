@@ -78,12 +78,66 @@ class TestInjectionGate:
         assert self._lint(fake_tree, tmp_path / "b.json") == 1
         assert "DET003" in capsys.readouterr().out
 
+    def test_two_hop_rng_injection_fails_interprocedurally(
+        self, fake_tree, tmp_path, capsys
+    ):
+        world = fake_tree / "simulation" / "world.py"
+        world.write_text(
+            world.read_text()
+            + "\nimport numpy as _inj_np\n"
+            "\ndef _inj_noise():\n    return _inj_np.random.normal()\n"
+            "\ndef _inj_middle():\n    return _inj_noise()\n"
+            "\ndef _inj_entry():\n    return _inj_middle()\n"
+        )
+        assert self._lint(fake_tree, tmp_path / "b.json") == 1
+        out = capsys.readouterr().out
+        assert "DET004" in out
+        assert "_inj_entry" in out  # two hops above the sink
+
+    def test_generator_capturing_closure_to_executor_fails(
+        self, fake_tree, tmp_path, capsys
+    ):
+        world = fake_tree / "simulation" / "world.py"
+        world.write_text(
+            world.read_text()
+            + "\nfrom repro.parallel import ProcessExecutor as _InjExec\n"
+            "import numpy as _inj_np2\n"
+            "\ndef _inj_submit(tasks):\n"
+            "    rng = _inj_np2.random.default_rng(1)\n"
+            "    def _inj_worker(t):\n"
+            "        return rng.normal() + t\n"
+            "    ex = _InjExec(2)\n"
+            "    return ex.map(_inj_worker, [(t,) for t in tasks])\n"
+        )
+        assert self._lint(fake_tree, tmp_path / "b.json") == 1
+        assert "PAR001" in capsys.readouterr().out
+
+    def test_undeclared_field_query_fails(self, fake_tree, tmp_path, capsys):
+        frames = fake_tree / "frames"
+        frames.mkdir()
+        (frames / "schema.py").write_text(
+            "from repro.frames.schema import Field, RecordSchema\n"
+            '\nRUN_SCHEMA = RecordSchema("run", (Field("run_id", "str"),))\n'
+            '\nBY_COLLECTION = {"runs": RUN_SCHEMA}\n'
+        )
+        world = fake_tree / "simulation" / "world.py"
+        world.write_text(
+            world.read_text()
+            + "\ndef _inj_query(store):\n"
+            '    return store["runs"].find({"not_a_field": 1})\n'
+        )
+        assert self._lint(fake_tree, tmp_path / "b.json") == 1
+        assert "SCH001" in capsys.readouterr().out
+
 
 class TestCliOptions:
     def test_list_rules(self, capsys):
         assert main(["lint", "--list-rules"]) == 0
         out = capsys.readouterr().out
-        for rule_id in ("DET001", "DET002", "DET003", "BUG001", "ML001", "OBS001"):
+        for rule_id in (
+            "DET001", "DET002", "DET003", "DET004", "BUG001", "ML001",
+            "OBS001", "PAR001", "PAR002", "SCH001", "SCH002",
+        ):
             assert rule_id in out
 
     def test_json_format(self, tmp_path, capsys):
