@@ -131,6 +131,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="output path (default: BENCH_ml.json / BENCH_data.json; "
         "only valid for a single suite)",
     )
+    bench.add_argument(
+        "--baseline", default=None,
+        help="data suite: speedup-floor file for the regression gate "
+        "(default: bench-baseline.json when --smoke; skipped if missing)",
+    )
 
     classify = sub.add_parser("classify", help="scan a fresh cohort with exported models")
     classify.add_argument("--models", default="detectors.json", help="exported models path")
@@ -344,6 +349,7 @@ def _cmd_bench(args) -> int:
             seed=seed,
             smoke=args.smoke,
             out=args.out or "BENCH_data.json",
+            baseline=args.baseline,
         )
     if args.suite in ("lint", "all"):
         code |= run_lint_bench(

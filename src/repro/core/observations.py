@@ -11,13 +11,13 @@ quantities the measurements and feature extractors need.
 from __future__ import annotations
 
 from collections import defaultdict
-from collections.abc import Mapping
+from collections.abc import Mapping, Sequence
 from dataclasses import dataclass, field
 from functools import cached_property
 
 import numpy as np
 
-from ..frames import ColumnFrame, FrameRow
+from ..frames import ColumnFrame, ColumnRun, FrameRow
 from ..platform.store import ColumnarCollection
 from ..playstore.reviews import Review
 from ..simulation.clock import SECONDS_PER_DAY
@@ -28,30 +28,65 @@ __all__ = ["DeviceObservation", "build_observations"]
 
 def _partition_runs(
     frame: ColumnFrame, order_field: str
-) -> dict[str, list[FrameRow]]:
-    """install_id -> zero-copy row views, sorted by ``order_field``.
+) -> dict[str, ColumnRun]:
+    """install_id -> zero-copy :class:`ColumnRun`, sorted by
+    ``order_field``.
 
     One stable argsort over the whole column reproduces, for every
     install at once, exactly what ``sorted(find({install_id: ...}),
     key=order_field)`` returns per install: ascending ``order_field``
-    with insertion order breaking ties.
+    with insertion order breaking ties.  No per-row view objects are
+    materialized — each install gets a position run whose column
+    slices the accessors consume directly.
     """
     ids = frame.values("install_id")
     order = np.argsort(frame.column(order_field), kind="stable")
-    partitions: dict[str, list[FrameRow]] = {}
-    for i in order:
-        position = int(i)
-        partitions.setdefault(ids[position], []).append(FrameRow(frame, position))
-    return partitions
+    grouped: dict[str, list[int]] = {}
+    for position in order.tolist():
+        grouped.setdefault(ids[position], []).append(position)
+    return {
+        install_id: ColumnRun(frame, positions)
+        for install_id, positions in grouped.items()
+    }
 
 
 def _first_rows(frame: ColumnFrame) -> dict[str, FrameRow]:
     """install_id -> view of its first inserted row (``find_one``)."""
     ids = frame.values("install_id")
     first: dict[str, FrameRow] = {}
-    for position in range(len(frame)):
-        first.setdefault(ids[position], FrameRow(frame, position))
+    for position, install_id in enumerate(ids):
+        if install_id not in first:
+            first[install_id] = FrameRow(frame, position)
     return first
+
+
+def _typed_run(runs) -> ColumnRun | None:
+    """``runs`` as a :class:`ColumnRun` over a *typed* frame, else
+    ``None`` — the gate for the vectorized accessor paths.  Dict-backend
+    lists, truncated copies, and degraded generic frames (where a
+    missing key must honour ``.get`` defaults) all take the scalar
+    per-row path instead."""
+    if isinstance(runs, ColumnRun) and runs.frame.schema is not None:
+        return runs
+    return None
+
+
+def _snapshot_total(runs) -> int:
+    """Sum of ``1 + (end - start) // period`` over the runs.
+
+    The vectorized branch is exact: numpy's float64 ``floor_divide``
+    matches CPython's ``//`` result bit for bit, and truncating the
+    already-floored quotient equals ``int(...)``.
+    """
+    run = _typed_run(runs)
+    if run is None:
+        return sum(
+            1 + int((r["end"] - r["start"]) // r["period"]) for r in runs
+        )
+    if not len(run):
+        return 0
+    counts = (run.column("end") - run.column("start")) // run.column("period")
+    return int(len(run) + counts.astype(np.int64).sum())
 
 
 def _snapshot_getters(data: StudyData):
@@ -88,19 +123,21 @@ def _snapshot_getters(data: StudyData):
 class DeviceObservation:
     """All collected data for one device, with derived accessors.
 
-    The snapshot rows are read-only mappings: plain dicts when the
-    store runs the dict backend, zero-copy
-    :class:`~repro.frames.FrameRow` views over the ingest frames when
-    it runs the columnar backend.  Every accessor treats them
-    identically.
+    The snapshot runs are read-only row sequences: plain dict lists
+    when the store runs the dict backend, zero-copy
+    :class:`~repro.frames.ColumnRun` position runs over the ingest
+    frames when it runs the columnar backend.  Every accessor produces
+    identical values either way; the hot ones (snapshot totals,
+    foreground usage, app-change scans) read whole column slices off a
+    typed run instead of touching rows one by one.
     """
 
     participant: Participant
     install_id: str
     initial: Mapping | None
-    slow_runs: list[Mapping]
-    fast_runs: list[Mapping]
-    app_changes: list[Mapping]
+    slow_runs: Sequence[Mapping]
+    fast_runs: Sequence[Mapping]
+    app_changes: Sequence[Mapping]
     #: Google IDs of the Gmail accounts seen in slow snapshots, resolved
     #: through the ID crawler (§5).
     google_ids: frozenset[str]
@@ -137,6 +174,15 @@ class DeviceObservation:
     @cached_property
     def reported_accounts(self) -> tuple[tuple[str, str], ...]:
         """Accounts from the latest slow run that carried the permission."""
+        run = _typed_run(self.slow_runs)
+        if run is not None:
+            frame = run.frame
+            permissions = frame.values("accounts_permission")
+            accounts = frame.values("accounts")
+            for position in reversed(run.positions.tolist()):
+                if permissions[position] and accounts[position]:
+                    return tuple(tuple(pair) for pair in accounts[position])
+            return ()
         for run in reversed(self.slow_runs):
             if run.get("accounts_permission", True) and run["accounts"]:
                 return tuple(tuple(pair) for pair in run["accounts"])
@@ -145,6 +191,11 @@ class DeviceObservation:
     @property
     def reported_account_data(self) -> bool:
         """Whether GET_ACCOUNTS data ever arrived for this device."""
+        run = _typed_run(self.slow_runs)
+        if run is not None:
+            return bool(len(run)) and bool(
+                run.column("accounts_permission").any()
+            )
         return any(run.get("accounts_permission", True) for run in self.slow_runs)
 
     @cached_property
@@ -197,11 +248,25 @@ class DeviceObservation:
             return tuple(run["stopped_apps"])
         return ()
 
+    def _change_cells(self, *fields: str) -> zip | None:
+        """Parallel raw-value streams over the app-change run, or
+        ``None`` when the events are not a typed run (scalar path)."""
+        run = _typed_run(self.app_changes)
+        if run is None:
+            return None
+        return zip(*(run.cells(name) for name in fields))
+
     @cached_property
     def install_times(self) -> dict[str, float]:
         """package -> last known Android install time (initial snapshot,
         overridden by any install events during the study)."""
         times = {a["package"]: a["install_time"] for a in self.initial_apps}
+        cells = self._change_cells("action", "package", "install_time")
+        if cells is not None:
+            for action, package, install_time in cells:
+                if action == "install" and install_time is not None:
+                    times[package] = install_time
+            return times
         for event in self.app_changes:
             if event["action"] == "install" and event.get("install_time") is not None:
                 times[event["package"]] = event["install_time"]
@@ -212,6 +277,12 @@ class DeviceObservation:
         hashes = {
             a["package"]: a["apk_hash"] for a in self.initial_apps if a["apk_hash"]
         }
+        cells = self._change_cells("action", "package", "apk_hash")
+        if cells is not None:
+            for action, package, apk_hash in cells:
+                if action == "install" and apk_hash:
+                    hashes[package] = apk_hash
+            return hashes
         for event in self.app_changes:
             if event["action"] == "install" and event.get("apk_hash"):
                 hashes[event["package"]] = event["apk_hash"]
@@ -221,26 +292,37 @@ class DeviceObservation:
     def observed_packages(self) -> frozenset[str]:
         """Every package seen installed at any point during the study."""
         packages = set(self.initial_packages)
-        packages.update(
-            e["package"] for e in self.app_changes if e["action"] == "install"
-        )
+        cells = self._change_cells("action", "package")
+        if cells is not None:
+            packages.update(
+                package for action, package in cells if action == "install"
+            )
+        else:
+            packages.update(
+                e["package"] for e in self.app_changes if e["action"] == "install"
+            )
         return frozenset(packages)
+
+    def _event_counts(self, wanted: str) -> dict[str, int]:
+        counts: dict[str, int] = defaultdict(int)
+        cells = self._change_cells("action", "package")
+        if cells is not None:
+            for action, package in cells:
+                if action == wanted:
+                    counts[package] += 1
+        else:
+            for event in self.app_changes:
+                if event["action"] == wanted:
+                    counts[event["package"]] += 1
+        return dict(counts)
 
     @cached_property
     def install_event_counts(self) -> dict[str, int]:
-        counts: dict[str, int] = defaultdict(int)
-        for event in self.app_changes:
-            if event["action"] == "install":
-                counts[event["package"]] += 1
-        return dict(counts)
+        return self._event_counts("install")
 
     @cached_property
     def uninstall_event_counts(self) -> dict[str, int]:
-        counts: dict[str, int] = defaultdict(int)
-        for event in self.app_changes:
-            if event["action"] == "uninstall":
-                counts[event["package"]] += 1
-        return dict(counts)
+        return self._event_counts("uninstall")
 
     @property
     def daily_installs(self) -> float:
@@ -255,25 +337,63 @@ class DeviceObservation:
     def foreground_days(self) -> dict[str, set[int]]:
         """package -> set of day indexes on which it held the foreground."""
         out: dict[str, set[int]] = defaultdict(set)
-        for run in self.fast_runs:
-            package = run["foreground"]
-            if package is None:
-                continue
-            first = int(run["start"] // SECONDS_PER_DAY)
-            last = int(run["end"] // SECONDS_PER_DAY)
-            for day in range(first, last + 1):
-                out[package].add(day)
+        run = _typed_run(self.fast_runs)
+        if run is not None:
+            if len(run):
+                packages = run.cells("foreground")
+                firsts = (
+                    (run.column("start") // SECONDS_PER_DAY)
+                    .astype(np.int64)
+                    .tolist()
+                )
+                lasts = (
+                    (run.column("end") // SECONDS_PER_DAY)
+                    .astype(np.int64)
+                    .tolist()
+                )
+                for package, first, last in zip(packages, firsts, lasts):
+                    if package is None:
+                        continue
+                    days = out[package]
+                    for day in range(first, last + 1):
+                        days.add(day)
+        else:
+            for run in self.fast_runs:
+                package = run["foreground"]
+                if package is None:
+                    continue
+                first = int(run["start"] // SECONDS_PER_DAY)
+                last = int(run["end"] // SECONDS_PER_DAY)
+                for day in range(first, last + 1):
+                    out[package].add(day)
         return dict(out)
 
     @cached_property
     def foreground_snapshots(self) -> dict[str, int]:
         """package -> total number of fast snapshots with it on screen."""
         out: dict[str, int] = defaultdict(int)
-        for run in self.fast_runs:
-            package = run["foreground"]
-            if package is None:
-                continue
-            out[package] += 1 + int((run["end"] - run["start"]) // run["period"])
+        run = _typed_run(self.fast_runs)
+        if run is not None:
+            if len(run):
+                packages = run.cells("foreground")
+                counts = (
+                    (
+                        (run.column("end") - run.column("start"))
+                        // run.column("period")
+                    )
+                    .astype(np.int64)
+                    .tolist()
+                )
+                for package, count in zip(packages, counts):
+                    if package is None:
+                        continue
+                    out[package] += 1 + count
+        else:
+            for run in self.fast_runs:
+                package = run["foreground"]
+                if package is None:
+                    continue
+                out[package] += 1 + int((run["end"] - run["start"]) // run["period"])
         return dict(out)
 
     @property
@@ -290,12 +410,7 @@ class DeviceObservation:
 
     @cached_property
     def total_snapshots(self) -> int:
-        total = 0
-        for run in self.fast_runs:
-            total += 1 + int((run["end"] - run["start"]) // run["period"])
-        for run in self.slow_runs:
-            total += 1 + int((run["end"] - run["start"]) // run["period"])
-        return total
+        return _snapshot_total(self.fast_runs) + _snapshot_total(self.slow_runs)
 
     @property
     def snapshots_per_day(self) -> float:

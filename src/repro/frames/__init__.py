@@ -14,8 +14,8 @@ feature matrices, labels, experiment reports — must be byte-identical
 whether it runs over dicts or over frames.
 """
 
-from .frame import ColumnFrame, FrameRow
-from .query import QUERY_OPERATORS, mask_for
+from .frame import ColumnFrame, ColumnRun, FrameRow
+from .query import QUERY_OPERATORS, QueryPlan, compile_plan, mask_for, plan_key
 from .schema import (
     APP_CHANGE_SCHEMA,
     FAST_RUN_SCHEMA,
@@ -30,8 +30,12 @@ from .schema import (
 
 __all__ = [
     "ColumnFrame",
+    "ColumnRun",
     "FrameRow",
     "mask_for",
+    "compile_plan",
+    "plan_key",
+    "QueryPlan",
     "QUERY_OPERATORS",
     "Field",
     "RecordSchema",

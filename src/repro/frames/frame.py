@@ -4,9 +4,12 @@ A :class:`ColumnFrame` holds N records as per-field columns instead of
 N dicts.  Values are kept as python objects in per-column lists (the
 source of truth, so a reconstructed row is exactly what was appended —
 same objects for nested values, bit-identical scalars) and materialize
-on demand into cached numpy arrays for vectorized query masks and batch
-feature extraction.  Appends invalidate the array caches; reads are
-amortized O(1) per column.
+on demand into *incrementally maintained* numpy buffers for vectorized
+query masks and batch feature extraction.  Appends never throw the
+materialized arrays away: each column keeps an amortized-growth buffer
+(capacity doubling, one dtype-coercion pass per unread tail), so an
+interleaved insert/query workload re-coerces only the rows appended
+since the last read instead of the whole column.
 
 Frames come in two modes:
 
@@ -19,26 +22,39 @@ Frames come in two modes:
   per cell so ``$exists`` can distinguish a missing key from an
   explicit ``None``.
 
+Batch writes go through :meth:`ColumnFrame.extend_batch`: one key-set
+validation pass over the documents, then one ``list.extend`` per column
+— the append-optimized ingest path the server's chunk handler uses.
+
 :class:`FrameRow` is a zero-copy read-only mapping view of one row,
 usable anywhere a document dict is read (``row["field"]``,
-``row.get(...)``, ``{**row}``).
+``row.get(...)``, ``{**row}``).  :class:`ColumnRun` is the multi-row
+counterpart: a read-only sequence view over a fixed set of row
+positions that yields :class:`FrameRow` views lazily and exposes the
+underlying column slices (``run.column("start")``) so per-device
+traversals can consume contiguous arrays instead of materializing one
+view object per record.
 """
 
 from __future__ import annotations
 
-from collections.abc import Iterator, Mapping
+import operator
+from collections.abc import Iterator, Mapping, Sequence
 from typing import Any
 
 import numpy as np
 
 from .schema import RecordSchema
 
-__all__ = ["ColumnFrame", "FrameRow", "SchemaMismatchError"]
+__all__ = ["ColumnFrame", "ColumnRun", "FrameRow", "SchemaMismatchError"]
 
 #: Cell marker for "this document did not carry the key" (generic mode).
 _ABSENT = object()
 
 _NUMPY_DTYPES = {"float": np.float64, "int": np.int64, "bool": np.bool_}
+
+#: Smallest buffer allocation; doubles from here.
+_MIN_CAPACITY = 16
 
 
 class SchemaMismatchError(ValueError):
@@ -67,6 +83,90 @@ class FrameRow(Mapping):
         return f"FrameRow({dict(self)!r})"
 
 
+class ColumnRun(Sequence):
+    """Read-only sequence view over selected rows of one frame.
+
+    Holds the frame and a position array; rows materialize lazily as
+    :class:`FrameRow` views on access, and whole-field reads come back
+    as numpy slices (:meth:`column`) so batch consumers never touch the
+    per-row path at all.
+    """
+
+    __slots__ = ("frame", "positions")
+
+    def __init__(self, frame: "ColumnFrame", positions) -> None:
+        self.frame = frame
+        self.positions = np.asarray(positions, dtype=np.int64)
+
+    def __len__(self) -> int:
+        return len(self.positions)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return ColumnRun(self.frame, self.positions[index])
+        return FrameRow(self.frame, int(self.positions[index]))
+
+    def __iter__(self) -> Iterator[FrameRow]:
+        frame = self.frame
+        for position in self.positions.tolist():
+            yield FrameRow(frame, position)
+
+    def __reversed__(self) -> Iterator[FrameRow]:
+        frame = self.frame
+        for position in self.positions[::-1].tolist():
+            yield FrameRow(frame, position)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ColumnRun({len(self)} rows)"
+
+    def column(self, name: str) -> np.ndarray:
+        """This run's slice of one column (native dtype when typed)."""
+        return self.frame.column(name)[self.positions]
+
+    def cells(self, name: str) -> list:
+        """Raw python values for one field over the run (absent -> None)."""
+        values = self.frame._columns.get(name)
+        if values is None:
+            return [None] * len(self.positions)
+        out = [values[position] for position in self.positions.tolist()]
+        return [None if value is _ABSENT else value for value in out]
+
+    def rows(self) -> list[dict]:
+        """Materialize every row as a plain dict."""
+        return [self.frame.row(position) for position in self.positions.tolist()]
+
+
+class _ColumnBuffer:
+    """Amortized-growth numpy shadow of one value list.
+
+    ``array[:filled]`` always mirrors the first ``filled`` entries of
+    the backing list; reads coerce only the unseen tail.  Returned
+    views are read-only slices of the shared buffer — safe because
+    filled positions are never rewritten (the frame is append-only).
+    """
+
+    __slots__ = ("array", "filled")
+
+    def __init__(self, dtype) -> None:
+        self.array = np.empty(_MIN_CAPACITY, dtype=dtype)
+        self.filled = 0
+
+    def _reserve(self, length: int) -> None:
+        capacity = len(self.array)
+        if capacity >= length:
+            return
+        while capacity < length:
+            capacity *= 2
+        grown = np.empty(capacity, dtype=self.array.dtype)
+        grown[: self.filled] = self.array[: self.filled]
+        self.array = grown
+
+    def view(self, length: int) -> np.ndarray:
+        view = self.array[:length]
+        view.flags.writeable = False
+        return view
+
+
 class ColumnFrame:
     """Columnar storage for homogeneous (typed) or ad-hoc (generic) records."""
 
@@ -74,8 +174,12 @@ class ColumnFrame:
         self.schema = schema
         self._length = 0
         self._columns: dict[str, list] = {}
-        self._array_cache: dict[str, np.ndarray] = {}
-        self._present_cache: dict[str, np.ndarray] = {}
+        # name -> (view, length-at-build): reads reuse the view until
+        # the frame grows, preserving identity between appends.
+        self._views: dict[str, tuple[np.ndarray, int]] = {}
+        self._present_views: dict[str, tuple[np.ndarray, int]] = {}
+        self._buffers: dict[str, _ColumnBuffer] = {}
+        self._present_buffers: dict[str, _ColumnBuffer] = {}
         if schema is not None:
             for field in schema.fields:
                 self._columns[field.name] = []
@@ -102,10 +206,6 @@ class ColumnFrame:
             for name, column in self._columns.items():
                 column.append(document.get(name, _ABSENT))
         self._length += 1
-        if self._array_cache:
-            self._array_cache.clear()
-        if self._present_cache:
-            self._present_cache.clear()
 
     def extend(self, documents) -> int:
         count = 0
@@ -113,6 +213,69 @@ class ColumnFrame:
             self.append(document)
             count += 1
         return count
+
+    def extend_batch(self, documents: Sequence[Mapping]) -> int:
+        """Append a batch column-wise, one C-level pass per column.
+
+        Raises :class:`SchemaMismatchError` (never a partial write —
+        the frame is untouched or rolled back to its pre-call state)
+        when any document mismatches; the store then falls back to the
+        per-document path, which degrades at exactly the offending
+        record.  Semantics are identical to appending each document in
+        order.
+
+        The typed fast path avoids per-document python work entirely:
+        key-set validation is one ``sum(map(len, ...))`` check (every
+        document that survives the per-column ``itemgetter`` extraction
+        carries all schema fields, so an exact total length means no
+        extras either), and each column fills through
+        ``list.extend(map(itemgetter(name), documents))``.
+        """
+        documents = (
+            documents if isinstance(documents, (list, tuple)) else list(documents)
+        )
+        if not documents:
+            return 0
+        if self.schema is not None:
+            try:
+                total = sum(map(len, documents))
+            except TypeError:
+                raise SchemaMismatchError("documents must be sized mappings")
+            if total != len(self._field_names) * len(documents):
+                raise SchemaMismatchError(
+                    f"batch key sets do not match schema {self.schema.name!r} "
+                    "fields"
+                )
+            start = self._length
+            try:
+                for name, column in self._columns.items():
+                    column.extend(map(operator.itemgetter(name), documents))
+            except (KeyError, TypeError, AttributeError):
+                for column in self._columns.values():
+                    del column[start:]
+                raise SchemaMismatchError(
+                    f"batch documents do not match schema "
+                    f"{self.schema.name!r} fields"
+                )
+        else:
+            new_columns: dict[str, None] = {}
+            try:
+                for document in documents:
+                    for key in document.keys():
+                        if key not in self._columns:
+                            new_columns[key] = None
+                staged = {
+                    name: [document.get(name, _ABSENT) for document in documents]
+                    for name in (*self._columns, *new_columns)
+                }
+            except (TypeError, AttributeError):
+                raise SchemaMismatchError("documents must be mappings")
+            for key in new_columns:
+                self._columns[key] = [_ABSENT] * self._length
+            for name, values in staged.items():
+                self._columns[name].extend(values)
+        self._length += len(documents)
+        return len(documents)
 
     # -- basic reads ----------------------------------------------------
     def __len__(self) -> int:
@@ -164,48 +327,76 @@ class ColumnFrame:
     def view(self, index: int) -> FrameRow:
         return FrameRow(self, index)
 
+    def run(self, positions) -> ColumnRun:
+        """A :class:`ColumnRun` view over the given row positions."""
+        return ColumnRun(self, positions)
+
     # -- numpy materialization -----------------------------------------
     def column(self, name: str) -> np.ndarray:
-        """The column as a numpy array (cached until the next append).
+        """The column as a numpy array (incrementally maintained).
 
         Typed non-nullable ``float``/``int``/``bool`` fields come back
         with their native dtype; everything else is an ``object`` array
         in which absent cells read as ``None`` (mirroring ``dict.get``).
-        An unknown column reads as all-``None``.
+        An unknown column reads as all-``None``.  Successive reads with
+        no intervening append return the same (read-only) view; after
+        appends only the new tail is coerced.
         """
-        cached = self._array_cache.get(name)
-        if cached is not None:
-            return cached
+        cached = self._views.get(name)
+        if cached is not None and cached[1] == self._length:
+            return cached[0]
         values = self._columns.get(name)
         if values is None:
-            array = np.full(self._length, None, dtype=object)
+            view = np.full(self._length, None, dtype=object)
+            view.flags.writeable = False
         else:
-            dtype = self._native_dtype(name)
-            if dtype is not None:
-                array = np.asarray(values, dtype=dtype)
-            else:
-                array = np.empty(self._length, dtype=object)
-                for i, value in enumerate(values):
-                    array[i] = None if value is _ABSENT else value
-        self._array_cache[name] = array
-        return array
+            buffer = self._buffers.get(name)
+            if buffer is None:
+                dtype = self._native_dtype(name)
+                buffer = _ColumnBuffer(dtype if dtype is not None else object)
+                self._buffers[name] = buffer
+            if buffer.filled < self._length:
+                tail = values[buffer.filled : self._length]
+                if buffer.array.dtype == object:
+                    coerced = np.empty(len(tail), dtype=object)
+                    for i, value in enumerate(tail):
+                        coerced[i] = None if value is _ABSENT else value
+                else:
+                    coerced = np.asarray(tail, dtype=buffer.array.dtype)
+                buffer._reserve(self._length)
+                buffer.array[buffer.filled : self._length] = coerced
+                buffer.filled = self._length
+            view = buffer.view(self._length)
+        self._views[name] = (view, self._length)
+        return view
 
     def present(self, name: str) -> np.ndarray:
         """Boolean mask of rows whose document carried ``name`` at all."""
-        cached = self._present_cache.get(name)
-        if cached is not None:
-            return cached
+        cached = self._present_views.get(name)
+        if cached is not None and cached[1] == self._length:
+            return cached[0]
         values = self._columns.get(name)
         if values is None:
-            mask = np.zeros(self._length, dtype=bool)
+            view = np.zeros(self._length, dtype=bool)
+            view.flags.writeable = False
         elif self.schema is not None:
-            mask = np.ones(self._length, dtype=bool)
+            view = np.ones(self._length, dtype=bool)
+            view.flags.writeable = False
         else:
-            mask = np.fromiter(
-                (value is not _ABSENT for value in values), np.bool_, self._length
-            )
-        self._present_cache[name] = mask
-        return mask
+            buffer = self._present_buffers.get(name)
+            if buffer is None:
+                buffer = _ColumnBuffer(np.bool_)
+                self._present_buffers[name] = buffer
+            if buffer.filled < self._length:
+                tail = values[buffer.filled : self._length]
+                buffer._reserve(self._length)
+                buffer.array[buffer.filled : self._length] = np.fromiter(
+                    (value is not _ABSENT for value in tail), np.bool_, len(tail)
+                )
+                buffer.filled = self._length
+            view = buffer.view(self._length)
+        self._present_views[name] = (view, self._length)
+        return view
 
     def cells(self, name: str) -> Iterator[Any]:
         """Iterate effective cell values (absent/unknown keys -> ``None``)."""

@@ -222,9 +222,10 @@ class RacketStoreServer:
 
     # -- queries used by the analyses ------------------------------------------------
     def install_ids(self) -> list[str]:
-        return sorted(
-            {doc["install_id"] for doc in self.store["installs"].find()}
-        )
+        # distinct() already deduplicates (one column pass on the
+        # columnar backend); re-sorting lexicographically preserves the
+        # historical sorted-set order exactly.
+        return sorted(self.store["installs"].distinct("install_id"))
 
     def initial_snapshot(self, install_id: str) -> dict | None:
         return self.store["initial_snapshots"].find_one({"install_id": install_id})

@@ -228,6 +228,9 @@ def run_study(config: SimulationConfig | None = None) -> StudyData:
     config = config or SimulationConfig()
     with obs.trace("simulate"):
         data = _run_study_traced(config)
+    # The load is complete: run the tuple-mover so analytical reads
+    # start from settled, read-optimized columns.
+    data.server.store.compact()
     obs.get_logger("simulate").info(
         "study_complete",
         participants=len(data.participants),

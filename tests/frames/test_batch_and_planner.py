@@ -1,0 +1,193 @@
+"""Tests for the batch append fast path, the selectivity-aware query
+planner, and contiguous column runs."""
+
+import numpy as np
+import pytest
+
+from repro.frames import (
+    ColumnFrame,
+    ColumnRun,
+    Field,
+    QueryPlan,
+    RecordSchema,
+    compile_plan,
+    mask_for,
+    plan_key,
+)
+from repro.frames.frame import SchemaMismatchError
+
+RUN_SCHEMA = RecordSchema(
+    "run",
+    (
+        Field("install_id", "str"),
+        Field("start", "float"),
+        Field("count", "int"),
+        Field("active", "bool"),
+        Field("label", "str", nullable=True),
+    ),
+)
+
+
+def _docs(n=8):
+    return [
+        {
+            "install_id": f"i{k % 3}",
+            "start": float(k) * 10.0,
+            "count": k,
+            "active": k % 2 == 0,
+            "label": None if k % 4 == 0 else f"l{k}",
+        }
+        for k in range(n)
+    ]
+
+
+def _typed(docs=None):
+    frame = ColumnFrame(RUN_SCHEMA)
+    frame.extend_batch(docs if docs is not None else _docs())
+    return frame
+
+
+class TestExtendBatch:
+    def test_matches_per_document_appends(self):
+        docs = _docs()
+        batch = _typed(docs)
+        serial = ColumnFrame(RUN_SCHEMA)
+        for doc in docs:
+            serial.append(doc)
+        assert len(batch) == len(serial) == len(docs)
+        assert [batch.row(i) for i in range(len(docs))] == docs
+        assert [serial.row(i) for i in range(len(docs))] == docs
+
+    def test_missing_field_raises_and_leaves_frame_untouched(self):
+        frame = _typed()
+        before = [frame.row(i) for i in range(len(frame))]
+        bad = _docs(3)
+        del bad[1]["start"]
+        with pytest.raises(SchemaMismatchError):
+            frame.extend_batch(bad)
+        assert len(frame) == len(before)
+        assert [frame.row(i) for i in range(len(frame))] == before
+
+    def test_extra_field_raises_and_leaves_frame_untouched(self):
+        frame = _typed()
+        before = len(frame)
+        bad = _docs(3)
+        bad[2]["extra"] = 1
+        with pytest.raises(SchemaMismatchError):
+            frame.extend_batch(bad)
+        assert len(frame) == before
+
+    def test_swapped_field_same_width_raises(self):
+        # Same key count as the schema but a wrong key: the per-column
+        # extraction must catch what the width check cannot, and roll
+        # the partially extended columns back.
+        frame = _typed()
+        before = [frame.row(i) for i in range(len(frame))]
+        bad = _docs(2)
+        bad[1]["wrong"] = bad[1].pop("label")
+        with pytest.raises(SchemaMismatchError):
+            frame.extend_batch(bad)
+        assert [frame.row(i) for i in range(len(frame))] == before
+
+    def test_non_mapping_documents_raise(self):
+        frame = _typed()
+        with pytest.raises(SchemaMismatchError):
+            frame.extend_batch([_docs(1)[0], 42])
+
+    def test_generic_batch_discovers_columns_with_backfill(self):
+        frame = ColumnFrame()
+        frame.extend_batch([{"a": 1}, {"a": 2, "b": "x"}])
+        frame.extend_batch([{"c": True}])
+        assert frame.row(0) == {"a": 1}
+        assert frame.row(1) == {"a": 2, "b": "x"}
+        assert frame.row(2) == {"c": True}
+
+    def test_generic_non_mapping_raises_before_mutation(self):
+        frame = ColumnFrame()
+        frame.extend_batch([{"a": 1}])
+        with pytest.raises(SchemaMismatchError):
+            frame.extend_batch([{"b": 2}, "not-a-mapping"])
+        assert len(frame) == 1
+        assert frame.row(0) == {"a": 1}
+
+
+class TestPlanner:
+    def test_plan_key_is_shape_not_values(self):
+        a = {"install_id": "i1", "start": {"$gte": 1.0}}
+        b = {"install_id": "i2", "start": {"$gte": 99.0}}
+        assert plan_key(a) == plan_key(b)
+        assert plan_key(a) != plan_key({"install_id": "i1"})
+
+    def test_predicates_ordered_by_selectivity(self):
+        query = {
+            "label": {"$exists": True},
+            "start": {"$gte": 10.0},
+            "install_id": "i1",
+            "count": {"$ne": 3},
+        }
+        plan = compile_plan(query)
+        ops = [op for _field, op, _plain in plan.entries]
+        assert ops == ["$eq", "$gte", "$exists", "$ne"]
+
+    @pytest.mark.parametrize(
+        "query",
+        [
+            {"install_id": "i1"},
+            {"start": {"$gte": 20.0, "$lt": 60.0}},
+            {"active": True, "count": {"$gt": 2}},
+            {"label": {"$exists": False}},
+            {"install_id": {"$in": ["i0", "i2"]}, "start": {"$lte": 50.0}},
+            {"count": {"$ne": 4}},
+        ],
+    )
+    def test_positions_match_mask_for(self, query):
+        frame = _typed()
+        plan = compile_plan(query)
+        expected = np.nonzero(mask_for(frame, query))[0]
+        assert plan.positions(frame, query).tolist() == expected.tolist()
+        assert plan.count(frame, query) == len(expected)
+
+    def test_seed_is_reverified_not_trusted(self):
+        # A seed is a candidate superset: positions that fail the
+        # predicates must be filtered out, whatever the seed claims.
+        frame = _typed()
+        query = {"install_id": "i1"}
+        expected = np.nonzero(mask_for(frame, query))[0].tolist()
+        seeded = compile_plan(query).positions(
+            frame, query, seed=list(range(len(frame)))
+        )
+        assert seeded.tolist() == expected
+
+    def test_narrow_paths_agree_with_and_without_column_shadow(self):
+        docs = _docs(12)
+        query = {"start": {"$gte": 30.0}, "install_id": "i0"}
+        fresh = _typed(docs)
+        seed = list(range(len(fresh)))
+        raw = compile_plan(query).positions(fresh, query, seed=seed).tolist()
+        warmed = _typed(docs)
+        warmed.column("start")  # materialize the numpy shadow
+        warmed.column("install_id")
+        vectorized = (
+            compile_plan(query).positions(warmed, query, seed=seed).tolist()
+        )
+        assert raw == vectorized
+
+    def test_unknown_operator_raises_at_evaluation_not_compile(self):
+        frame = _typed()
+        query = {"install_id": {"$regex": "i.*"}}
+        plan = compile_plan(query)  # must not raise
+        assert isinstance(plan, QueryPlan)
+        with pytest.raises(ValueError, match="regex"):
+            plan.positions(frame, query)
+
+
+class TestColumnRun:
+    def test_run_slices_are_contiguous_views_of_the_frame(self):
+        frame = _typed()
+        positions = [1, 3, 5]
+        run = frame.run(positions)
+        assert isinstance(run, ColumnRun)
+        assert len(run) == 3
+        assert run.column("start").tolist() == [10.0, 30.0, 50.0]
+        assert run.cells("label") == [frame.values("label")[p] for p in positions]
+        assert [dict(row) for row in run] == [frame.row(p) for p in positions]

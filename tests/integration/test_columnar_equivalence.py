@@ -127,3 +127,113 @@ def test_experiment_report_identical(small_config):
         workbench = Workbench(small_config.scaled(store_backend=backend))
         reports.append(run_experiment("fig07", workbench).render())
     assert reports[0] == reports[1]
+
+
+# -- interleaved insert/query/ingest workloads -------------------------------
+#
+# The staged-write data plane defers columnarization and index
+# maintenance until a read needs them, so the contract must hold not
+# just for settled stores but at every point of an interleaved
+# write/read sequence: each query below runs against both backends
+# mid-ingest and must return byte-identical documents.
+
+from repro.benchmark import _make_fast_run_docs
+from repro.parallel import spawn_seeds
+from repro.platform.store import DocumentStore
+
+
+def _paired_fast_run_collections():
+    pair = []
+    for backend in ("dict", "columnar"):
+        collection = DocumentStore(backend=backend).collection("fast_runs")
+        collection.create_index("install_id")
+        pair.append(collection)
+    return pair
+
+
+def test_interleaved_batch_ingest_and_queries_identical():
+    docs = _make_fast_run_docs(12, 6, 3)
+    dict_col, columnar_col = _paired_fast_run_collections()
+    queries = [
+        {"install_id": "inst00003"},
+        {"start": {"$gte": 120.0, "$lt": 600.0}},
+        {"screen_on": True, "battery": {"$lt": 0.5}},
+        {"foreground": {"$in": ["app1", "app2"]}},
+        {"foreground": {"$exists": True}},
+        {"install_id": "inst00007", "end": {"$gt": 200.0}},
+    ]
+    chunk = 9
+    for lo in range(0, len(docs), chunk):
+        batch = docs[lo : lo + chunk]
+        assert dict_col.insert_many(batch) == columnar_col.insert_many(batch)
+        assert len(dict_col) == len(columnar_col)
+        for query in queries:
+            assert dict_col.find(query) == columnar_col.find(query), query
+            assert dict_col.count(query) == columnar_col.count(query), query
+        assert dict_col.distinct("foreground") == columnar_col.distinct(
+            "foreground"
+        )
+    assert dict_col.find() == columnar_col.find()
+
+
+def test_single_inserts_interleaved_with_indexed_finds_identical():
+    # Regression: single inserts must be visible to the very next
+    # indexed find (the incremental index used to invalidate; the
+    # staged path must merge before probing), byte-for-byte.
+    docs = _make_fast_run_docs(6, 5, 5)
+    dict_col, columnar_col = _paired_fast_run_collections()
+    for i, doc in enumerate(docs):
+        dict_col.insert(doc)
+        columnar_col.insert(doc)
+        query = {"install_id": doc["install_id"]}
+        assert dict_col.find(query) == columnar_col.find(query)
+        assert dict_col.find_one(query) == columnar_col.find_one(query)
+        if i % 3 == 0:
+            ranged = {
+                "install_id": doc["install_id"],
+                "start": {"$lte": doc["start"]},
+            }
+            assert dict_col.find(ranged) == columnar_col.find(ranged)
+    assert dict_col.find() == columnar_col.find()
+
+
+@pytest.mark.parametrize("root_seed", [0, 1, 2])
+def test_randomized_interleaved_workload_equivalence(root_seed):
+    # Property-style replay: a seeded random interleaving of
+    # insert/insert_many/find/count/distinct against both backends.
+    (seed,) = spawn_seeds(root_seed, 1)
+    rng = np.random.default_rng(seed)
+    docs = _make_fast_run_docs(10, 8, root_seed)
+    dict_col, columnar_col = _paired_fast_run_collections()
+    install_ids = sorted({doc["install_id"] for doc in docs})
+    i = 0
+    while i < len(docs):
+        choice = int(rng.integers(6))
+        if choice == 0:
+            n = int(rng.integers(1, 8))
+            batch = docs[i : i + n]
+            i += n
+            assert dict_col.insert_many(batch) == columnar_col.insert_many(batch)
+        elif choice == 1:
+            dict_col.insert(docs[i])
+            columnar_col.insert(docs[i])
+            i += 1
+        elif choice == 2:
+            query = {"install_id": install_ids[int(rng.integers(len(install_ids)))]}
+            assert dict_col.find(query) == columnar_col.find(query), query
+        elif choice == 3:
+            lo = float(rng.random()) * 900.0
+            query = {"start": {"$gte": lo, "$lt": lo + 300.0}}
+            assert dict_col.find(query) == columnar_col.find(query), query
+        elif choice == 4:
+            query = {"battery": {"$gte": float(rng.random())}}
+            assert dict_col.count(query) == columnar_col.count(query), query
+        else:
+            assert dict_col.distinct("foreground") == columnar_col.distinct(
+                "foreground"
+            )
+            assert dict_col.distinct(
+                "screen_on", {"usage_permission": True}
+            ) == columnar_col.distinct("screen_on", {"usage_permission": True})
+    assert dict_col.find() == columnar_col.find()
+    assert len(dict_col) == len(columnar_col)
