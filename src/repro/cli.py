@@ -16,7 +16,8 @@ Commands
                 vs parallel -> BENCH_ml.json), ``data`` (columnar data
                 plane vs dict backend -> BENCH_data.json), ``lint``
                 (serial vs parallel statan analysis -> BENCH_lint.json),
-                or ``all``
+                ``sim`` (serial vs sharded day phases ->
+                BENCH_sim.json), or ``all``
 ``lint``        run the repro.statan static analyzer (per-file and
                 whole-program determinism/invariants rules) over the
                 source tree; ``--n-jobs``/``--changed`` scale and scope
@@ -25,9 +26,10 @@ Commands
 ``simulate``/``report``/``train``/``profile`` accept ``--metrics-out
 FILE`` to enable the metrics registry and archive its JSON export.
 The global ``--n-jobs N`` flag (default: the ``REPRO_N_JOBS``
-environment variable, else serial) fans CV folds, forest trees, and
-experiment cells out across N worker processes; outputs are
-bit-identical at any worker count (DESIGN.md §8).
+environment variable, else serial) fans simulation day phases, CV
+folds, forest trees, and experiment cells out across N worker
+processes; outputs are bit-identical at any worker count (DESIGN.md
+§8, §12).
 """
 
 from __future__ import annotations
@@ -117,10 +119,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="speedup/determinism benchmarks; writes BENCH_<suite>.json",
     )
     bench.add_argument(
-        "suite", nargs="?", choices=("ml", "data", "lint", "all"), default="ml",
+        "suite", nargs="?", choices=("ml", "data", "lint", "sim", "all"),
+        default="ml",
         help="ml: serial-vs-parallel ML workloads; data: columnar "
         "data plane vs dict backend; lint: serial-vs-parallel statan "
-        "analysis; all: every suite (default: ml)",
+        "analysis; sim: serial-vs-sharded simulation day phases; "
+        "all: every suite (default: ml)",
     )
     bench.add_argument(
         "--smoke", action="store_true",
@@ -133,8 +137,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument(
         "--baseline", default=None,
-        help="data suite: speedup-floor file for the regression gate "
-        "(default: bench-baseline.json when --smoke; skipped if missing)",
+        help="data/sim suites: speedup-floor file for the regression "
+        "gate (default: bench-baseline.json when --smoke; skipped if "
+        "missing)",
     )
 
     classify = sub.add_parser("classify", help="scan a fresh cohort with exported models")
@@ -162,7 +167,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _cmd_simulate(args) -> int:
-    data = run_study(_config_for(args.scale, args.seed))
+    data = run_study(_config_for(args.scale, args.seed), n_jobs=args.n_jobs)
     eligible = data.eligible_participants(min_days=2)
     workers = [p for p in eligible if p.is_worker]
     print(
@@ -234,7 +239,7 @@ def _cmd_classify(args) -> int:
     device_model = import_detector(json.dumps(payload["device"]))
     detector = OnDeviceDetector(app_model, device_model)
 
-    data = run_study(_config_for(args.scale, args.seed))
+    data = run_study(_config_for(args.scale, args.seed), n_jobs=args.n_jobs)
     observations = build_observations(data, data.eligible_participants(min_days=2))
     correct = 0
     flagged = 0
@@ -250,7 +255,7 @@ def _cmd_classify(args) -> int:
 
 
 def _cmd_dashboard(args) -> int:
-    data = run_study(_config_for(args.scale, args.seed))
+    data = run_study(_config_for(args.scale, args.seed), n_jobs=args.n_jobs)
     dashboard = Dashboard(data.server)
     overview = dashboard.overview()
     print(render_table(["metric", "value"], sorted(overview.items())))
@@ -330,7 +335,7 @@ def _cmd_profile(args) -> int:
 
 
 def _cmd_bench(args) -> int:
-    from .benchmark import run_bench, run_data_bench, run_lint_bench
+    from .benchmark import run_bench, run_data_bench, run_lint_bench, run_sim_bench
 
     seed = args.seed if args.seed is not None else 0
     if args.suite == "all" and args.out is not None:
@@ -356,6 +361,14 @@ def _cmd_bench(args) -> int:
             n_jobs=args.n_jobs,
             smoke=args.smoke,
             out=args.out or "BENCH_lint.json",
+        )
+    if args.suite in ("sim", "all"):
+        code |= run_sim_bench(
+            seed=seed,
+            n_jobs=args.n_jobs,
+            smoke=args.smoke,
+            out=args.out or "BENCH_sim.json",
+            baseline=args.baseline,
         )
     return code
 

@@ -37,7 +37,7 @@ from .models import (
     SlowSnapshotRun,
 )
 
-__all__ = ["SignInError", "RacketStoreApp"]
+__all__ = ["SignInError", "AppState", "RacketStoreApp"]
 
 
 class SignInError(ValueError):
@@ -50,8 +50,36 @@ class _Permissions:
     get_accounts: bool  # GET_ACCOUNTS
 
 
+@dataclass(slots=True)
+class AppState:
+    """Picklable install state (everything but the device reference).
+
+    The phase-split day engine (DESIGN.md §12) ships this to shard
+    workers instead of the app object itself: it carries no server,
+    transport, or Generator — those are injected per call — so the
+    payload satisfies the PAR001/PAR002 shipping rules.  The buffer
+    travels because undelivered chunks are retried on later days.
+    """
+
+    participant_id: str
+    usage_stats: bool
+    get_accounts: bool
+    idle_hours_median: float
+    install_id: str | None
+    installed_at: float | None
+    uninstalled_at: float | None
+    buffer: DataBuffer
+
+
 class RacketStoreApp:
-    """One install of the RacketStore app on one device."""
+    """One install of the RacketStore app on one device.
+
+    The server, transport, and Generator bound at construction are
+    defaults for standalone use; the study loop instead injects a
+    per-device-day rng and a recording uplink into each call
+    (:meth:`sign_in` / :meth:`collect_day` / :meth:`uninstall`), which
+    is what makes a device-day a pure function of its pre-drawn seed.
+    """
 
     FAST_PERIOD_S = 5.0
     SLOW_PERIOD_S = 120.0
@@ -60,14 +88,18 @@ class RacketStoreApp:
         self,
         device: SimDevice,
         participant_id: str,
-        server,
-        transport,
-        rng: np.random.Generator,
+        server=None,
+        transport=None,
+        rng: np.random.Generator | None = None,
         grant_usage_stats: bool = True,
         grant_get_accounts: bool = True,
         fast_buffer_bytes: int = 100 * 1024,
         slow_buffer_bytes: int = 8 * 1024,
     ) -> None:
+        if rng is None:
+            # No hidden fallback Generator (statan DET001): the caller
+            # must make the randomness source explicit.
+            raise ValueError("RacketStoreApp requires an explicit rng")
         self.device = device
         self.participant_id = participant_id
         self._server = server
@@ -83,26 +115,75 @@ class RacketStoreApp:
         #: per device — this is what spreads Figure 4's snapshot counts.
         self._idle_hours_median = float(np.clip(rng.lognormal(np.log(2.2), 0.9), 0.1, 14.0))
 
+    # -- state snapshots (phase-split shipping) ------------------------------
+    def snapshot_state(self) -> AppState:
+        """The install's current state, detached from device and I/O."""
+        return AppState(
+            participant_id=self.participant_id,
+            usage_stats=self.permissions.usage_stats,
+            get_accounts=self.permissions.get_accounts,
+            idle_hours_median=self._idle_hours_median,
+            install_id=self.install_id,
+            installed_at=self.installed_at,
+            uninstalled_at=self.uninstalled_at,
+            buffer=self.buffer,
+        )
+
+    @classmethod
+    def from_state(cls, device: SimDevice, state: AppState) -> "RacketStoreApp":
+        """Rebuild a detached app (no server/transport/rng) in a worker."""
+        app = object.__new__(cls)
+        app.device = device
+        app.participant_id = state.participant_id
+        app._server = None
+        app._transport = None
+        app._rng = None
+        app.permissions = _Permissions(state.usage_stats, state.get_accounts)
+        app.buffer = state.buffer
+        app.install_id = state.install_id
+        app.installed_at = state.installed_at
+        app.uninstalled_at = state.uninstalled_at
+        app._idle_hours_median = state.idle_hours_median
+        return app
+
+    def adopt_state(self, state: AppState) -> None:
+        """Fold a worker's returned state back into this install."""
+        self.install_id = state.install_id
+        self.installed_at = state.installed_at
+        self.uninstalled_at = state.uninstalled_at
+        self.buffer = state.buffer
+
     # -- lifecycle -----------------------------------------------------------
-    def sign_in(self, timestamp: float) -> str:
+    def sign_in(
+        self,
+        timestamp: float,
+        *,
+        rng: np.random.Generator | None = None,
+        server=None,
+        transport=None,
+    ) -> str:
         """Validate the participant code with the server and mint the
         install ID.  No data is collected before this succeeds (§3)."""
-        if not self._server.is_valid_participant(self.participant_id):
+        rng = rng if rng is not None else self._rng
+        server = server if server is not None else self._server
+        transport = transport if transport is not None else self._transport
+        if not server.is_valid_participant(self.participant_id):
             raise SignInError(f"unknown participant id {self.participant_id!r}")
-        self.install_id = f"{self._rng.integers(10**9, 10**10 - 1):010d}"
+        self.install_id = f"{rng.integers(10**9, 10**10 - 1):010d}"
         self.installed_at = float(timestamp)
-        self._server.register_install(
+        server.register_install(
             participant_id=self.participant_id,
             install_id=self.install_id,
             android_id=self.device.android_id,
             timestamp=timestamp,
         )
-        self._send_initial_snapshot(timestamp)
+        self._send_initial_snapshot(timestamp, transport)
         return self.install_id
 
-    def uninstall(self, timestamp: float) -> None:
+    def uninstall(self, timestamp: float, *, transport=None) -> None:
+        transport = transport if transport is not None else self._transport
         self.buffer.seal_all()
-        self.buffer.flush(self._transport)
+        self.buffer.flush(transport)
         self.uninstalled_at = float(timestamp)
 
     @property
@@ -110,7 +191,7 @@ class RacketStoreApp:
         return self.install_id is not None and self.uninstalled_at is None
 
     # -- initial collector ------------------------------------------------------
-    def _send_initial_snapshot(self, timestamp: float) -> None:
+    def _send_initial_snapshot(self, timestamp: float, transport) -> None:
         apps = []
         for rec in sorted(self.device.installed.values(), key=lambda r: r.package):
             granted_dangerous = sum(
@@ -148,43 +229,55 @@ class RacketStoreApp:
         )
         self.buffer.append("slow", snapshot)
         self.buffer.seal_all()
-        self.buffer.flush(self._transport)
+        self.buffer.flush(transport)
 
     # -- daily collection ---------------------------------------------------------
-    def collect_day(self, day_start: float) -> None:
+    def collect_day(
+        self,
+        day_start: float,
+        *,
+        rng: np.random.Generator | None = None,
+        transport=None,
+    ) -> None:
         """Run both collectors over one study day and upload."""
         if not self.active:
             raise RuntimeError("collect_day on an inactive install")
+        rng = rng if rng is not None else self._rng
+        transport = transport if transport is not None else self._transport
         day_end = day_start + SECONDS_PER_DAY
-        windows = self._coverage_windows(day_start, day_end)
-        self._emit_fast_runs(windows, day_start, day_end)
+        windows = self._coverage_windows(day_start, day_end, rng)
+        self._emit_fast_runs(windows, rng)
         self._emit_slow_runs(windows)
         self._emit_app_changes(day_start, day_end)
         self.buffer.seal_all()
-        self.buffer.flush(self._transport)
+        self.buffer.flush(transport)
 
-    def _coverage_windows(self, day_start: float, day_end: float) -> list[tuple[float, float, str | None]]:
+    def _coverage_windows(
+        self, day_start: float, day_end: float, rng: np.random.Generator
+    ) -> list[tuple[float, float, str | None]]:
         """(start, end, foreground) intervals the collectors were awake.
 
         Foreground sessions always produce coverage (the device is in
         use); idle coverage is drawn from the per-device uptime budget.
+        ``prior_sessions`` covers sessions that started before a day
+        view was cut but spill past its start (see SimDevice.day_view).
         """
         sessions = [
             s
-            for s in self.device.sessions
+            for s in (*self.device.prior_sessions, *self.device.sessions)
             if s.start < day_end and s.end > day_start
         ]
         windows: list[tuple[float, float, str | None]] = [
             (max(s.start, day_start), min(s.end, day_end), s.package) for s in sessions
         ]
         idle_budget = hours(
-            float(np.clip(self._rng.lognormal(np.log(self._idle_hours_median), 0.5), 0.05, 15.0))
+            float(np.clip(rng.lognormal(np.log(self._idle_hours_median), 0.5), 0.05, 15.0))
         )
         # Spread the idle budget over 1-3 screen-off windows.
-        n_windows = int(self._rng.integers(1, 4))
+        n_windows = int(rng.integers(1, 4))
         for _ in range(n_windows):
             duration = idle_budget / n_windows
-            start = float(self._rng.uniform(day_start, max(day_start, day_end - duration)))
+            start = float(rng.uniform(day_start, max(day_start, day_end - duration)))
             windows.append((start, min(start + duration, day_end), None))
         # Full-tuple key: ties on start must not fall back to list
         # construction order, or a future refactor that builds windows
@@ -192,7 +285,7 @@ class RacketStoreApp:
         windows.sort(key=lambda w: (w[0], w[1], w[2] or ""))
         return windows
 
-    def _emit_fast_runs(self, windows, day_start: float, day_end: float) -> None:
+    def _emit_fast_runs(self, windows, rng: np.random.Generator) -> None:
         battery = self.device.battery_level
         for start, end, foreground in windows:
             if end <= start:
@@ -213,7 +306,7 @@ class RacketStoreApp:
                 ),
             )
         # Overnight recharge.
-        self.device.battery_level = float(self._rng.uniform(0.6, 1.0))
+        self.device.battery_level = float(rng.uniform(0.6, 1.0))
 
     def _emit_slow_runs(self, windows) -> None:
         if self.permissions.get_accounts:

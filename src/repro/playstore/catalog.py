@@ -109,6 +109,9 @@ class Catalog:
         self._rng = rng
         self._apps: dict[str, App] = {}
         self._name_counter = itertools.count(1)
+        #: Bumped on every mutation; cheap cache invalidation token for
+        #: derived structures (the rank model's relevance arrays).
+        self.version = 0
         self._register_preinstalled()
 
     # -- generation --------------------------------------------------------
@@ -127,6 +130,7 @@ class Catalog:
                 apk_hashes=(_apk_hash(package, 1),),
             )
             self._apps[package] = app
+            self.version += 1
 
     def _new_package(self, kind: str) -> tuple[str, str]:
         a = self._rng.choice(_WORD_A)
@@ -156,6 +160,7 @@ class Catalog:
             ),
         )
         self._apps[package] = app
+        self.version += 1
         return app
 
     def add_promoted_app(self, malware_probability: float = 0.08) -> App:
@@ -182,6 +187,7 @@ class Catalog:
             is_malware=is_malware,
         )
         self._apps[package] = app
+        self.version += 1
         return app
 
     def add_third_party_app(self, modded: bool = True) -> App:
@@ -202,6 +208,7 @@ class Catalog:
             is_modded=modded,
         )
         self._apps[package] = app
+        self.version += 1
         return app
 
     def add_antivirus_app(self) -> App:
@@ -220,6 +227,7 @@ class Catalog:
             is_antivirus=True,
         )
         self._apps[package] = app
+        self.version += 1
         return app
 
     # -- lookups -----------------------------------------------------------
@@ -255,3 +263,4 @@ class Catalog:
         if app.package not in self._apps:
             raise KeyError(f"unknown package {app.package!r}")
         self._apps[app.package] = app
+        self.version += 1

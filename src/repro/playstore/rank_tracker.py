@@ -60,18 +60,33 @@ class RankTracker:
     def tracked(self) -> list[tuple[str, str]]:
         return sorted(self._series)
 
-    def record_day(self, day: int) -> None:
-        """Sample the rank of every tracked pair for one day."""
-        for (package, keyword), series in self._series.items():
-            if package not in self._catalog:
-                continue
+    def record_day(
+        self, day: int, boosts: dict[str, tuple[int, int]] | None = None
+    ) -> None:
+        """Sample the rank of every tracked pair for one day.
+
+        ``boosts`` overlays per-package (delivered installs, delivered
+        reviews) on the static catalog counts — how the phase-2 commit
+        advances ranks from the day's ASO deliveries without mutating
+        the catalog (DESIGN.md §12).  Ranks are computed in one batch
+        pass per keyword (:meth:`SearchRankModel.ranks_for`).
+        """
+        pairs = [
+            (package, keyword)
+            for (package, keyword) in self._series
+            if package in self._catalog
+        ]
+        ranks = self._model.ranks_for(pairs, boosts=boosts)
+        boosts = boosts or {}
+        for package, keyword in pairs:
             app = self._catalog.get(package)
-            series.append(
+            extra_installs, extra_reviews = boosts.get(package, (0, 0))
+            self._series[(package, keyword)].append(
                 RankSample(
                     day=day,
-                    rank=self._model.rank_of(package, keyword),
-                    install_count=app.install_count,
-                    review_count=app.review_count,
+                    rank=ranks[(package, keyword)],
+                    install_count=app.install_count + extra_installs,
+                    review_count=app.review_count + extra_reviews,
                     rating=app.aggregate_rating,
                 )
             )

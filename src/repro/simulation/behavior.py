@@ -1,15 +1,16 @@
-"""Behaviour engine: turns personas into concrete device histories.
-
-Two phases per device:
+"""Behaviour engine: pre-study device state and per-device study state.
 
 * :meth:`BehaviorEngine.setup_device` builds the *pre-study* state —
   registered accounts, installed apps with historical install times,
   stopped apps, and the review history of every account (§6.2/§6.3 all
-  measure state that mostly predates the RacketStore install);
-* :meth:`BehaviorEngine.simulate_day` advances one study day — foreground
-  sessions, app churn, promotion jobs pulled from the campaign board,
-  and scheduled review postings with persona-calibrated install-to-
-  review delays (Figure 7).
+  measure state that mostly predates the RacketStore install).
+* Study days are advanced by the phase-split engine in
+  :mod:`repro.simulation.phases` (foreground sessions, app churn,
+  promotion jobs, scheduled review postings with persona-calibrated
+  install-to-review delays — Figure 7).  The engine's role during the
+  study is bookkeeping: it owns each device's pending-review heap,
+  favorite-app list, and per-account review mirror that the phase-1
+  tasks ship out and the commit folds back.
 """
 
 from __future__ import annotations
@@ -22,12 +23,19 @@ import numpy as np
 from ..playstore.catalog import App, Catalog
 from ..playstore.reviews import ReviewStore
 from .campaigns import CampaignBoard
-from .clock import SECONDS_PER_DAY, hours
+from .clock import SECONDS_PER_DAY
 from .config import SimulationConfig
 from .device import SimDevice
 from .personas import Persona
 
-__all__ = ["BehaviorEngine", "PendingReview"]
+__all__ = ["BehaviorEngine", "PendingReview", "review_rating"]
+
+
+def review_rating(rng: np.random.Generator, promo: bool) -> int:
+    """Promo reviews are 4-5 stars; organic ratings span the scale."""
+    if promo:
+        return int(rng.choice((4, 5), p=(0.2, 0.8)))
+    return int(rng.choice((1, 2, 3, 4, 5), p=(0.07, 0.06, 0.12, 0.3, 0.45)))
 
 
 @dataclass(order=True, slots=True)
@@ -72,6 +80,50 @@ class BehaviorEngine:
 
         self._pending: dict[str, list[PendingReview]] = {}
         self._favorites: dict[str, list[str]] = {}
+        #: Per-device review mirror: google_id -> packages reviewed.
+        #: Google accounts are device-owned, so the Play "one live
+        #: review per (account, app)" dedup check is device-local and
+        #: can run inside a phase-1 shard without the global store.
+        self._reviewed: dict[str, dict[str, set[str]]] = {}
+
+    # -- static pools (read by the phase-split day engine) ---------------
+    def popular_apps(self) -> list[App]:
+        return list(self._popular)
+
+    def popular_weights(self) -> np.ndarray:
+        return self._popular_weights
+
+    def promoted_packages(self) -> list[str]:
+        return list(self._promoted_pool)
+
+    # -- per-device study state handed to/from phase-1 tasks -------------
+    def favorites_for(self, device_id: str) -> tuple[str, ...]:
+        return tuple(self._favorites.get(device_id) or ())
+
+    def pending_for(self, device_id: str) -> tuple[PendingReview, ...]:
+        """Current pending-review heap, in heap (not sorted) order."""
+        return tuple(self._pending.get(device_id, ()))
+
+    def set_pending(self, device_id: str, pending) -> None:
+        self._pending[device_id] = list(pending)
+
+    def reviewed_mirror(self, device: SimDevice) -> dict[str, set[str]]:
+        """The device's account->reviewed-packages map (built lazily
+        from the global store after setup, then maintained by the
+        phase-1 runners)."""
+        mirror = self._reviewed.get(device.device_id)
+        if mirror is None:
+            mirror = {
+                account.google_id: self.review_store.apps_reviewed_by(
+                    account.google_id
+                )
+                for account in device.gmail_accounts()
+            }
+            self._reviewed[device.device_id] = mirror
+        return mirror
+
+    def set_reviewed_mirror(self, device_id: str, mirror: dict[str, set[str]]) -> None:
+        self._reviewed[device_id] = mirror
 
     # ------------------------------------------------------------------
     # Setup: pre-study history
@@ -179,13 +231,6 @@ class BehaviorEngine:
             if record.preinstalled:
                 record.stopped = False
 
-    def _review_rating(self, promo: bool) -> int:
-        """Promo reviews are 4-5 stars; organic ratings span the scale."""
-        rng = self.rng
-        if promo:
-            return int(rng.choice((4, 5), p=(0.2, 0.8)))
-        return int(rng.choice((1, 2, 3, 4, 5), p=(0.07, 0.06, 0.12, 0.3, 0.45)))
-
     def _generate_review_history(self, device: SimDevice, persona: Persona) -> None:
         """Create the pre-study Play-review footprint of the device's
         accounts: reviews for installed apps (the Fig 6-center and Fig 7
@@ -236,7 +281,7 @@ class BehaviorEngine:
                 self.review_store.post_review(
                     record.package,
                     account.google_id,
-                    self._review_rating(record.promo_install),
+                    review_rating(rng, record.promo_install),
                     review_time,
                 )
                 device.record_review_event(record.package, review_time)
@@ -262,194 +307,10 @@ class BehaviorEngine:
             self.review_store.post_review(
                 package,
                 account.google_id,
-                self._review_rating(persona.is_worker),
+                review_rating(rng, persona.is_worker),
                 review_time,
             )
             posted += 1
-
-    # ------------------------------------------------------------------
-    # Study-time simulation
-    # ------------------------------------------------------------------
-    def simulate_day(self, device: SimDevice, persona: Persona, day_start: float) -> None:
-        """Advance one study day for one device."""
-        self._run_sessions(device, persona, day_start)
-        promo_installs = (
-            self._run_promotion(device, persona, day_start) if persona.is_worker else 0
-        )
-        self._run_churn(device, persona, day_start, promo_installs)
-        self._post_due_reviews(device, persona, day_start + SECONDS_PER_DAY)
-
-    def _waking_time(self, day_start: float) -> tuple[float, float]:
-        """Waking interval: 7am - midnight local time."""
-        return day_start + hours(7), day_start + hours(24)
-
-    def _run_sessions(self, device: SimDevice, persona: Persona, day_start: float) -> None:
-        rng = self.rng
-        wake_start, wake_end = self._waking_time(day_start)
-        favorites = self._favorites.get(device.device_id) or []
-        for _ in range(persona.sample_sessions(rng)):
-            session_start = float(rng.uniform(wake_start, wake_end - 60.0))
-            t = session_start
-            for _ in range(persona.sample_apps_in_session(rng)):
-                if favorites and rng.random() < 0.8:
-                    package = favorites[int(rng.integers(0, len(favorites)))]
-                else:
-                    candidates = list(device.installed)
-                    package = candidates[int(rng.integers(0, len(candidates)))]
-                if package not in device.installed:
-                    continue
-                duration = persona.sample_session_minutes(rng) * 60.0
-                device.open_app(package, t, duration)
-                t += duration + float(rng.uniform(1.0, 20.0))
-
-    def _run_churn(
-        self, device: SimDevice, persona: Persona, day_start: float, promo_installs: int = 0
-    ) -> None:
-        """Personal install/uninstall churn (Fig 9).  Uninstall volume
-        tracks *total* install volume (promo installs included): workers
-        clear out expired-retention promotions to free storage."""
-        rng = self.rng
-        wake_start, wake_end = self._waking_time(day_start)
-        n_installs = persona.sample_daily_installs(rng)
-        for _ in range(n_installs):
-            # Retry a few draws: the owner picks something they do not
-            # already have (avoids undercounting churn on small catalogs).
-            app = None
-            for _attempt in range(6):
-                candidate = self._popular[
-                    int(rng.choice(len(self._popular), p=self._popular_weights))
-                ]
-                if candidate.package not in device.installed:
-                    app = candidate
-                    break
-            if app is None:
-                continue
-            timestamp = float(rng.uniform(wake_start, wake_end))
-            device.install(
-                app,
-                timestamp=timestamp,
-                grant_probability=persona.dangerous_permission_grant_prob,
-                rng=rng,
-            )
-            if rng.random() < persona.open_after_install_prob:
-                # The owner tries the app right away (clears its
-                # Android stopped state).
-                device.open_app(
-                    app.package,
-                    timestamp + 30.0,
-                    persona.sample_session_minutes(rng) * 60.0,
-                )
-            if rng.random() < persona.review_prob_per_personal_install:
-                delay_days = persona.sample_review_delay_days(rng)
-                heapq.heappush(
-                    self._pending.setdefault(device.device_id, []),
-                    PendingReview(
-                        due=timestamp + delay_days * SECONDS_PER_DAY,
-                        package=app.package,
-                        min_rating=1,
-                    ),
-                )
-
-        n_uninstalls = persona.sample_daily_uninstalls(rng, n_installs + promo_installs)
-        removable = [
-            rec.package
-            for rec in device.user_installed()
-            if rec.retention_until < day_start or not rec.promo_install
-        ]
-        rng.shuffle(removable)
-        for package in removable[:n_uninstalls]:
-            # An app installed earlier the same day must be uninstalled
-            # *after* its install event (the delta stream is ordered).
-            earliest = max(
-                wake_start, device.installed[package].install_time + 120.0
-            )
-            if earliest >= wake_end:
-                continue
-            device.uninstall(package, float(rng.uniform(earliest, wake_end)))
-
-    def _run_promotion(self, device: SimDevice, persona: Persona, day_start: float) -> int:
-        """Pull jobs from the board: install, schedule the paid review,
-        sometimes stop the app afterwards (§6.3 stopped-apps findings).
-        Returns the number of promo installs performed."""
-        rng = self.rng
-        wake_start, wake_end = self._waking_time(day_start)
-        config = self.config
-
-        # Retention checks: clients demand proof the app stays installed
-        # and gets used, so workers briefly open a couple of promoted
-        # apps most days (§6.3: retention installs; this is also why the
-        # paper's foreground data could not cleanly separate promo apps).
-        promos = device.promo_installed()
-        if promos:
-            for _ in range(int(rng.integers(0, 3))):
-                record = promos[int(rng.integers(0, len(promos)))]
-                device.open_app(
-                    record.package,
-                    float(rng.uniform(wake_start, wake_end - 300.0)),
-                    float(rng.uniform(30.0, 240.0)),
-                )
-
-        installs_done = 0
-        for _ in range(persona.sample_promo_installs(rng)):
-            job = self.board.next_job(exclude_packages=device.installed_packages())
-            if job is None:
-                return installs_done
-            timestamp = float(rng.uniform(wake_start, wake_end))
-            device.install(
-                self.catalog.get(job.app_package),
-                timestamp=timestamp,
-                grant_probability=persona.dangerous_permission_grant_prob,
-                rng=rng,
-                promo=True,
-                retention_days=job.retention_days,
-            )
-            installs_done += 1
-            if rng.random() < persona.open_after_install_prob:
-                device.open_app(job.app_package, timestamp + 30.0, 90.0)
-            if job.wants_review and rng.random() < persona.review_prob_per_promo_install * config.worker_review_volume_multiplier:
-                delay_days = (
-                    persona.sample_review_delay_days(rng)
-                    * config.worker_review_delay_multiplier
-                )
-                heapq.heappush(
-                    self._pending.setdefault(device.device_id, []),
-                    PendingReview(
-                        due=timestamp + delay_days * SECONDS_PER_DAY,
-                        package=job.app_package,
-                        min_rating=job.min_rating,
-                        stop_after=bool(rng.random() < 0.35),
-                    ),
-                )
-        return installs_done
-
-    def _post_due_reviews(self, device: SimDevice, persona: Persona, until: float) -> None:
-        """Post every scheduled review whose time has come, from a device
-        account that has not reviewed that app yet (one review per
-        account per app — the Play Store rule)."""
-        queue = self._pending.get(device.device_id)
-        if not queue:
-            return
-        rng = self.rng
-        while queue and queue[0].due <= until:
-            pending = heapq.heappop(queue)
-            if pending.package not in device.installed:
-                continue  # app uninstalled before the review came due
-            gmail = device.gmail_accounts()
-            fresh = [
-                a
-                for a in gmail
-                if not self.review_store.has_reviewed(a.google_id, pending.package)
-            ]
-            if not fresh:
-                continue
-            account = fresh[int(rng.integers(0, len(fresh)))]
-            rating = max(pending.min_rating, self._review_rating(pending.min_rating >= 4))
-            self.review_store.post_review(
-                pending.package, account.google_id, rating, pending.due
-            )
-            device.record_review_event(pending.package, pending.due)
-            if pending.stop_after:
-                device.stop_app(pending.package, pending.due + 60.0)
 
     def pending_reviews(self, device_id: str) -> list[PendingReview]:
         return sorted(self._pending.get(device_id, []))

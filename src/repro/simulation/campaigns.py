@@ -16,7 +16,7 @@ import numpy as np
 
 from ..playstore.catalog import App
 
-__all__ = ["Campaign", "CampaignBoard", "PromoJob"]
+__all__ = ["Campaign", "CampaignBoard", "PromoJob", "FrozenCampaign", "FrozenBoard"]
 
 
 @dataclass(slots=True)
@@ -64,6 +64,30 @@ class PromoJob:
     wants_review: bool
     min_rating: int
     retention_days: float
+
+
+@dataclass(frozen=True, slots=True)
+class FrozenCampaign:
+    """Start-of-day image of one campaign (phase-1 read view)."""
+
+    campaign_id: int
+    app_package: str
+    installs_remaining: int
+    reviews_remaining: int
+    min_rating: int
+    retention_days: float
+
+
+@dataclass(frozen=True, slots=True)
+class FrozenBoard:
+    """Immutable start-of-day view of the whole board, id-ordered.
+
+    Shipped to every phase-1 shard so job selection reads the same
+    state regardless of which worker (or how many workers) runs the
+    device — the frozen-view half of the determinism contract.
+    """
+
+    campaigns: tuple[FrozenCampaign, ...]
 
 
 class CampaignBoard:
@@ -142,6 +166,42 @@ class CampaignBoard:
             min_rating=chosen.min_rating,
             retention_days=chosen.retention_days,
         )
+
+    def freeze(self) -> FrozenBoard:
+        """Immutable snapshot of remaining work, ordered by campaign id."""
+        return FrozenBoard(
+            campaigns=tuple(
+                FrozenCampaign(
+                    campaign_id=c.campaign_id,
+                    app_package=c.app_package,
+                    installs_remaining=c.installs_remaining,
+                    reviews_remaining=c.reviews_remaining,
+                    min_rating=c.min_rating,
+                    retention_days=c.retention_days,
+                )
+                for cid, c in sorted(self._campaigns.items())
+            )
+        )
+
+    def apply_delivery(self, campaign_id: int, review: bool = False) -> bool:
+        """Commit one frozen-view job take, clamped to the targets.
+
+        Devices working against the same start-of-day snapshot can
+        jointly overshoot a campaign's remaining counts; the client only
+        ever pays up to the bought targets, so excess takes are dropped
+        here.  Returns whether anything was credited — replaying a
+        delivery against a completed campaign is a no-op, which is what
+        makes commit replay idempotent once targets are reached.
+        """
+        campaign = self._campaigns[campaign_id]
+        credited = False
+        if campaign.delivered_installs < campaign.target_installs:
+            campaign.delivered_installs += 1
+            credited = True
+        if review and campaign.delivered_reviews < campaign.target_reviews:
+            campaign.delivered_reviews += 1
+            credited = True
+        return credited
 
     def total_payout_usd(self) -> float:
         return sum(c.payout_usd for c in self._campaigns.values())

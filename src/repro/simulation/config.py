@@ -60,6 +60,11 @@ class SimulationConfig:
     fast_buffer_bytes: int = 100 * 1024
     slow_buffer_bytes: int = 8 * 1024
 
+    #: Per-chunk loss probability of the device->server channel (§3
+    #: "resilient communications"; the buffer retries until the hash
+    #: acknowledgement matches).
+    transport_loss_probability: float = 0.02
+
     # Runtime-permission grant rates (§3: participants may deny either
     # permission; the defaults reproduce the paper's partial-reporting
     # cohort sizes, e.g. only 145 regular + 390 worker devices reported

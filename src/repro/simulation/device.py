@@ -89,6 +89,10 @@ class SimDevice:
         self.uninstalled_log: list[tuple[float, str]] = []
         self.events: list[DeviceEvent] = []
         self.sessions: list[ForegroundSession] = []
+        #: Sessions that started before the current day view but are
+        #: still open at its start (a late-evening session can spill
+        #: past midnight).  Always empty on a full-history device.
+        self.prior_sessions: tuple[ForegroundSession, ...] = ()
         self.battery_level: float = float(rng.uniform(0.3, 1.0))
         self.save_mode: bool = bool(rng.random() < 0.15)
 
@@ -174,6 +178,52 @@ class SimDevice:
 
     def record_review_event(self, package: str, timestamp: float) -> None:
         self.events.append(DeviceEvent(timestamp, EventType.REVIEW, package))
+
+    # -- day views (phase-split engine, DESIGN.md §12) ----------------------
+    def day_view(self, day_start: float) -> "SimDevice":
+        """Start-of-day snapshot shipped to a phase-1 shard worker.
+
+        The view shares the mutable install table and account list (the
+        shard's pickle round-trip copies them; the serial path mutates
+        them in place — :meth:`absorb_day` converges both) but carries
+        *empty* event/session/uninstall logs, so the worker payload and
+        the returned deltas stay O(one day) instead of O(history).
+        """
+        view = object.__new__(SimDevice)
+        view.device_id = self.device_id
+        view.android_id = self.android_id
+        view.manufacturer = self.manufacturer
+        view.model = self.model
+        view.api_level = self.api_level
+        view.persona_kind = self.persona_kind
+        view.is_worker = self.is_worker
+        view.country = self.country
+        view.accounts = self.accounts
+        view.installed = self.installed
+        view.uninstalled_log = []
+        view.events = []
+        view.sessions = []
+        # Carry over still-open sessions: they produce snapshot coverage
+        # in the new day.  Sessions never span more than one midnight,
+        # so scanning back one day's worth of history is enough.
+        carryover = []
+        for session in reversed(self.sessions):
+            if session.start < day_start - 86_400.0:
+                break
+            if session.end > day_start:
+                carryover.append(session)
+        view.prior_sessions = tuple(reversed(carryover))
+        view.battery_level = self.battery_level
+        view.save_mode = self.save_mode
+        return view
+
+    def absorb_day(self, view: "SimDevice") -> None:
+        """Fold a day view's deltas back into the full-history device."""
+        self.installed = view.installed
+        self.battery_level = view.battery_level
+        self.uninstalled_log.extend(view.uninstalled_log)
+        self.events.extend(view.events)
+        self.sessions.extend(view.sessions)
 
     # -- views ------------------------------------------------------------------
     def installed_packages(self) -> set[str]:

@@ -6,6 +6,14 @@ VirusTotal panel, enrolls worker and regular participant devices, runs
 the study day by day — each device generating behaviour and its
 RacketStore install reporting snapshots to the backend — and returns a
 :class:`StudyData` handle exposing everything the §6-§8 analyses need.
+
+Each study day runs through the two-phase engine (DESIGN.md §12):
+phase 1 simulates every active device against frozen start-of-day
+state — fanned out over device shards via :mod:`repro.parallel` when
+``n_jobs`` (or ``$REPRO_N_JOBS``) asks for workers — and phase 2
+commits the devices' action logs in deterministic ``(device_id, seq)``
+order, advances rank tracking, and runs the crawler rounds.  The
+resulting :class:`StudyData` is byte-identical at any worker count.
 """
 
 from __future__ import annotations
@@ -15,13 +23,14 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from .. import obs
+from ..parallel import draw_seeds, parallel_map, resolve_n_jobs
 from ..platform.mobile_app import RacketStoreApp
 from ..platform.server import RacketStoreServer
 from ..platform.store import DocumentStore
-from ..platform.transport import LossyTransport
-from ..playstore.catalog import App, Catalog
+from ..playstore.catalog import Catalog
 from ..playstore.google_id import GmailDirectory, GoogleIdCrawler
 from ..playstore.rank import SearchRankModel
+from ..playstore.rank_tracker import RankTracker
 from ..playstore.reviews import ReviewCrawler, ReviewStore
 from ..virustotal.client import VirusTotalClient
 from ..virustotal.engines import EnginePanel
@@ -32,6 +41,7 @@ from .clock import SECONDS_PER_DAY
 from .config import SimulationConfig
 from .device import SimDevice
 from .personas import Persona, dedicated_worker, organic_worker, regular_user
+from .phases import DeviceDayTask, build_day_params, commit_day, run_day_shard
 from .recruitment import sample_country
 
 __all__ = ["Participant", "StudyData", "build_world", "run_study"]
@@ -75,6 +85,9 @@ class StudyData:
     server: RacketStoreServer
     rank_model: SearchRankModel
     participants: list[Participant] = field(default_factory=list)
+    #: Daily keyword-rank series for every advertised package, advanced
+    #: by the phase-2 commit (None until the study loop starts).
+    rank_tracker: RankTracker | None = None
 
     # -- cohort views ----------------------------------------------------
     def worker_participants(self, min_days: int = 0) -> list[Participant]:
@@ -188,14 +201,18 @@ def _enroll(
         engine.setup_device(device, persona, factory)
 
     participant_id = data.server.issue_participant_id()
-    transport = LossyTransport(
-        data.server, loss_probability=0.02, rng=np.random.default_rng(rng.integers(2**31))
-    )
+    # Stream-compatibility draw: this seed fed the app-bound transport
+    # before the phase split (transports now live inside the day phases
+    # and draw loss from the per-day device rng).  Consuming it keeps
+    # the world rng stream — and with it every paper-calibrated
+    # realization downstream — byte-identical to the calibrated seed.
+    rng.integers(2**31)
+    # The app gets no server/transport binding: during the study every
+    # sign-in/collect/uninstall call runs in phase 1 against a per-day
+    # rng and a recording uplink whose chunks replay at commit time.
     app = RacketStoreApp(
         device=device,
         participant_id=participant_id,
-        server=data.server,
-        transport=transport,
         rng=np.random.default_rng(rng.integers(2**31)),
         # Permission grant rates reproduce the partial-reporting cohort
         # sizes of Figs 5/6 (not every device reports accounts/usage).
@@ -220,14 +237,19 @@ def _enroll(
     return participant
 
 
-def run_study(config: SimulationConfig | None = None) -> StudyData:
+def run_study(
+    config: SimulationConfig | None = None, n_jobs: int | None = None
+) -> StudyData:
     """Build the world, enroll the cohort, simulate every study day.
 
-    Returns the populated :class:`StudyData`.
+    ``n_jobs`` fans the device-local phase of each day out over worker
+    processes (``None`` defers to ``$REPRO_N_JOBS``, ``<= 0`` means all
+    cores); the returned :class:`StudyData` is byte-identical at any
+    worker count.
     """
     config = config or SimulationConfig()
     with obs.trace("simulate"):
-        data = _run_study_traced(config)
+        data = _run_study_traced(config, n_jobs)
     # The load is complete: run the tuple-mover so analytical reads
     # start from settled, read-optimized columns.
     data.server.store.compact()
@@ -240,43 +262,150 @@ def run_study(config: SimulationConfig | None = None) -> StudyData:
     return data
 
 
-def _run_study_traced(config: SimulationConfig) -> StudyData:
+def _run_study_traced(
+    config: SimulationConfig, n_jobs: int | None = None
+) -> StudyData:
     with obs.trace("simulate.build_world"):
         data, engine, factory, rng = build_world(config)
 
     with obs.trace("simulate.enroll"):
         _enroll_cohort(data, engine, factory, rng)
 
-    # -- study days ------------------------------------------------------
+    # Rank tracking (§2): every advertised package is followed for its
+    # title's lead keyword; the phase-2 commit advances the series.
+    data.rank_tracker = RankTracker(data.catalog, data.rank_model)
+    for package in sorted(data.board.advertised_packages()):
+        keyword = data.catalog.get(package).title.split()[0].lower()
+        data.rank_tracker.track(package, keyword)
+
+    params = build_day_params(engine)
+    resolved_jobs = resolve_n_jobs(n_jobs)
+
+    # Metric handles resolved once, outside the day loop: re-resolving
+    # with help= on every device-day was measurable registry overhead.
     track_events = obs.metrics_enabled()
+    if track_events:
+        event_counters = {
+            kind: obs.counter(
+                "sim_events_total",
+                {"persona": kind},
+                help="device events generated per persona",
+            )
+            for kind in sorted({p.persona.kind for p in data.participants})
+        }
+        device_days_counter = obs.counter("sim_device_days_total")
+        days_counter = obs.counter("sim_days_total")
+
+    # -- study days ------------------------------------------------------
     with obs.trace("simulate.days"):
         for day in range(config.study_days):
             day_start = day * SECONDS_PER_DAY
             with obs.trace("simulate.day"):
-                for participant in data.participants:
-                    if not participant.active_on(day):
-                        continue
-                    if participant.app.install_id is None:
-                        participant.app.sign_in(timestamp=day_start)
-                    events_before = len(participant.device.events)
-                    engine.simulate_day(participant.device, participant.persona, day_start)
-                    participant.app.collect_day(day_start)
+                # Phase 1 (device-local): one task and one pre-drawn seed
+                # per active device-day, in participant order — the
+                # historical RNG order the seeds contract requires.
+                active = [
+                    (index, participant)
+                    for index, participant in enumerate(data.participants)
+                    if participant.active_on(day)
+                ]
+                seeds = draw_seeds(rng, len(active))
+                tasks = [
+                    DeviceDayTask(
+                        index=index,
+                        device=participant.device.day_view(day_start),
+                        app_state=participant.app.snapshot_state(),
+                        persona=participant.persona,
+                        favorites=engine.favorites_for(participant.device.device_id),
+                        pending=engine.pending_for(participant.device.device_id),
+                        reviewed=engine.reviewed_mirror(participant.device),
+                        needs_sign_in=participant.app.install_id is None,
+                        final_day=day
+                        == participant.enrolled_day + participant.active_days - 1,
+                    )
+                    for index, participant in active
+                ]
+                results = _fan_out_day(
+                    day_start, tasks, seeds, data.board.freeze(), params, resolved_jobs
+                )
+
+                # Fold device-local deltas back (submission order).
+                for result in results:
+                    participant = data.participants[result.index]
+                    participant.device.absorb_day(result.device)
+                    participant.app.adopt_state(result.app_state)
+                    engine.set_pending(result.device_id, result.pending)
+                    engine.set_reviewed_mirror(result.device_id, result.reviewed)
                     if track_events:
-                        obs.counter(
-                            "sim_events_total",
-                            {"persona": participant.persona.kind},
-                            help="device events generated per persona",
-                        ).inc(len(participant.device.events) - events_before)
-                        obs.counter("sim_device_days_total").inc()
-                    if day == participant.enrolled_day + participant.active_days - 1:
-                        participant.app.uninstall(day_start + SECONDS_PER_DAY)
+                        event_counters[participant.persona.kind].inc(
+                            len(result.device.events)
+                        )
+                        device_days_counter.inc()
+
+                # Phase 2 (global commit) in (device_id, seq) order, then
+                # rank tracking over the committed delivery totals.
+                commit_day(
+                    results,
+                    board=data.board,
+                    review_store=data.review_store,
+                    server=data.server,
+                )
+                data.rank_tracker.record_day(day, boosts=_promo_boosts(data.board))
                 # §5: the review crawler runs every 12 hours.
                 data.review_crawler.crawl_round()
                 data.review_crawler.crawl_round()
             if track_events:
-                obs.counter("sim_days_total").inc()
+                days_counter.inc()
 
     return data
+
+
+def _fan_out_day(
+    day_start: float,
+    tasks: list[DeviceDayTask],
+    seeds: list[int],
+    frozen_board,
+    params,
+    n_jobs: int,
+) -> list:
+    """Run phase 1 over contiguous device shards; order-stable results.
+
+    Shard boundaries cannot affect the outcome — each device-day is a
+    pure function of its (task, seed, frozen board, params) — so the
+    flattened submission-order list is identical at any worker count.
+    """
+    if not tasks:
+        return []
+    n_shards = max(1, min(n_jobs, len(tasks)))
+    base, extra = divmod(len(tasks), n_shards)
+    shard_args = []
+    start = 0
+    for shard in range(n_shards):
+        size = base + (1 if shard < extra else 0)
+        shard_args.append(
+            (
+                day_start,
+                tuple(tasks[start : start + size]),
+                tuple(seeds[start : start + size]),
+                frozen_board,
+                params,
+            )
+        )
+        start += size
+    shards = parallel_map(run_day_shard, shard_args, n_jobs=n_jobs)
+    return [result for shard in shards for result in shard]
+
+
+def _promo_boosts(board: CampaignBoard) -> dict[str, tuple[int, int]]:
+    """Cumulative (installs, reviews) delivered per promoted package."""
+    boosts: dict[str, tuple[int, int]] = {}
+    for campaign in board.campaigns():
+        installs, reviews = boosts.get(campaign.app_package, (0, 0))
+        boosts[campaign.app_package] = (
+            installs + campaign.delivered_installs,
+            reviews + campaign.delivered_reviews,
+        )
+    return boosts
 
 
 def _enroll_cohort(
@@ -324,18 +453,20 @@ def _enroll_cohort(
     if len(repeaters) < n_repeat:
         # Not enough naturally short stays: truncate a few full-stay
         # workers so their device frees up for the repeat install.
+        repeater_ids = {p.participant_id for p in repeaters}
         for participant in data.participants:
             if len(repeaters) >= n_repeat:
                 break
             if (
                 participant.is_worker
-                and participant not in repeaters
+                and participant.participant_id not in repeater_ids
                 and participant.active_days >= 4
                 and participant.enrolled_day == 0
             ):
                 participant.active_days = max(2, config.study_days - 3)
                 if participant.enrolled_day + participant.active_days + 2 <= config.study_days:
                     repeaters.append(participant)
+                    repeater_ids.add(participant.participant_id)
     rng.shuffle(repeaters)
     for original in repeaters[:n_repeat]:
         # Short repeat installs: they earn the bounty, get coalesced by

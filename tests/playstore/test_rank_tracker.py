@@ -3,6 +3,7 @@
 import pytest
 
 from repro.playstore.catalog import Catalog
+from repro.playstore.rank import SearchRankModel
 from repro.playstore.rank_tracker import RankTracker
 
 
@@ -76,3 +77,47 @@ class TestRankTracker:
         tracker = RankTracker(catalog)
         assert tracker.series("com.none", "kw") == []
         assert tracker.best_rank("com.none", "kw") is None
+
+
+class TestBatchRankEquivalence:
+    """``ranks_for`` (the vectorized pass the tracker uses daily) must
+    agree exactly with the scalar ``rank_of`` reference."""
+
+    def test_batch_ranks_match_scalar_reference(self, world):
+        catalog, app = world
+        model = SearchRankModel(catalog)
+        hosted = catalog.hosted_on_play()
+        keywords = [hosted[0].title.split()[0].lower(), "game", "zzz"]
+        pairs = [
+            (candidate.package, keyword)
+            for candidate in hosted[:12] + [app]
+            for keyword in keywords
+        ]
+        batch = model.ranks_for(pairs)
+        for package, keyword in pairs:
+            assert batch[(package, keyword)] == model.rank_of(package, keyword)
+
+    def test_boosts_overlay_matches_mutated_catalog(self, world):
+        catalog, app = world
+        model = SearchRankModel(catalog)
+        keyword = app.title.split()[0].lower()
+        boosted = model.ranks_for(
+            [(app.package, keyword)], boosts={app.package: (10**7, 50_000)}
+        )
+        catalog.update(
+            app.with_counts(app.install_count + 10**7, app.review_count + 50_000,
+                            app.aggregate_rating)
+        )
+        assert boosted[(app.package, keyword)] == model.rank_of(app.package, keyword)
+
+    def test_relevance_cache_invalidated_by_catalog_mutation(self, world):
+        catalog, app = world
+        model = SearchRankModel(catalog)
+        keyword = "game"
+        before = model.ranks_for([(app.package, keyword)])
+        version = catalog.version
+        new_app = catalog.add_popular_app()  # hosted set changes
+        assert catalog.version > version
+        after = model.ranks_for([(app.package, keyword), (new_app.package, keyword)])
+        assert after[(app.package, keyword)] == model.rank_of(app.package, keyword)
+        assert before[(app.package, keyword)] >= 1
