@@ -661,6 +661,13 @@ def study_digest(data) -> str:
     normalized positionally: they come from a process-global counter, so
     their absolute values differ between *any* two runs in one process,
     independent of worker count.
+
+    Store records are hashed in *canonical* (sorted serialized) order
+    per collection, not arrival order: the exactly-once ingest contract
+    says faults may move *when* a chunk lands (retries, next-day
+    redelivery), never *what* the study contains, so the digest must be
+    insensitive to ingest timing while still pinning the full record
+    multiset.
     """
     import hashlib
 
@@ -671,8 +678,11 @@ def study_digest(data) -> str:
             participant.device.device_id, f"dev#{len(device_alias)}"
         )
     for name in sorted(data.server.store.collection_names()):
-        for record in data.server.store[name].find():
-            h.update(json.dumps(record, sort_keys=True, default=str).encode())
+        for line in sorted(
+            json.dumps(record, sort_keys=True, default=str)
+            for record in data.server.store[name].find()
+        ):
+            h.update(line.encode())
     for package in sorted(data.review_crawler.tracked_apps()):
         for review in data.review_store.reviews_for_app(package):
             h.update(

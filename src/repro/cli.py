@@ -18,6 +18,11 @@ Commands
                 (serial vs parallel statan analysis -> BENCH_lint.json),
                 ``sim`` (serial vs sharded day phases ->
                 BENCH_sim.json), or ``all``
+``chaos``       fault-injection gate: run the same seeded study under a
+                clean plan and escalating fault plans (loss, corruption,
+                ack loss, receive crashes, store rejections, overload)
+                and assert the study digest is byte-identical at every
+                worker count; ``--smoke`` for the CI-sized cohort
 ``lint``        run the repro.statan static analyzer (per-file and
                 whole-program determinism/invariants rules) over the
                 source tree; ``--n-jobs``/``--changed`` scale and scope
@@ -158,6 +163,20 @@ def build_parser() -> argparse.ArgumentParser:
         "write-experiments", help="regenerate EXPERIMENTS.md from a fresh run"
     )
     write_exp.add_argument("--out", default="EXPERIMENTS.md", help="output path")
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="fault-injection gate: same seeded study under escalating "
+        "fault plans must reproduce the clean study digest",
+    )
+    chaos.add_argument(
+        "--smoke", action="store_true",
+        help="CI-sized cohort (seconds per run)",
+    )
+    chaos.add_argument(
+        "--out", default="CHAOS.json",
+        help="JSON report path (written on failure too; default CHAOS.json)",
+    )
 
     lint = sub.add_parser(
         "lint", help="run the statan determinism/invariants linter"
@@ -373,6 +392,17 @@ def _cmd_bench(args) -> int:
     return code
 
 
+def _cmd_chaos(args) -> int:
+    from .faults.chaos import run_chaos
+
+    return run_chaos(
+        _config_for(args.scale, args.seed),
+        smoke=args.smoke,
+        n_jobs=args.n_jobs,
+        out=args.out,
+    )
+
+
 def _cmd_export_figures(args) -> int:
     from .reporting.series import export_figure_data
 
@@ -398,6 +428,7 @@ _COMMANDS = {
     "findings": _cmd_findings,
     "profile": _cmd_profile,
     "bench": _cmd_bench,
+    "chaos": _cmd_chaos,
     "export-figures": _cmd_export_figures,
     "write-experiments": _cmd_write_experiments,
 }

@@ -1,0 +1,39 @@
+"""Injected-failure exceptions raised by the fault plane.
+
+All derive from :class:`~repro.platform.errors.UploadError`, so the
+client retry loop and the phase-2 commit handle an injected fault
+exactly like a real one: no acknowledgement exists, the chunk stays
+queued, and the server's dedup window makes the retry safe.
+"""
+
+from __future__ import annotations
+
+from ..platform.errors import Throttled, UploadError
+
+__all__ = ["FaultInjected", "InjectedThrottle", "ServerCrash", "StoreRejected"]
+
+
+class FaultInjected(UploadError):
+    """Base class for failures the fault plane injected (as opposed to
+    organic ones); ``site`` names the injection site."""
+
+    site = "fault"
+
+
+class ServerCrash(FaultInjected):
+    """The server process died mid-receive; a prefix of the chunk's
+    records may have been inserted and must be rolled back."""
+
+    site = "receive_crash"
+
+
+class StoreRejected(FaultInjected):
+    """The document store refused the chunk's writes."""
+
+    site = "store_reject"
+
+
+class InjectedThrottle(Throttled, FaultInjected):
+    """An injected overload window (429 + Retry-After)."""
+
+    site = "overload"

@@ -5,6 +5,7 @@ store, and the Appendix-A snapshot fingerprinting."""
 from .api import ApiRequest, ApiResponse, RacketStoreApi
 from .buffer import BufferedChunk, DataBuffer, chunk_hash
 from .dashboard import Dashboard, InstallHealth, ValidationIssue
+from .errors import Throttled, UploadError
 from .fingerprint import (
     ACCOUNT_JACCARD_THRESHOLD,
     APP_JACCARD_THRESHOLD,
@@ -63,4 +64,6 @@ __all__ = [
     "DocumentStore",
     "LossyTransport",
     "Transport",
+    "Throttled",
+    "UploadError",
 ]

@@ -17,6 +17,7 @@ from dataclasses import dataclass, field
 from typing import Callable
 
 from .dashboard import Dashboard
+from .errors import Throttled, UploadError
 from .server import RacketStoreServer
 
 __all__ = ["ApiRequest", "ApiResponse", "RacketStoreApi"]
@@ -144,7 +145,20 @@ class RacketStoreApi:
             data = base64.b64decode(body["chunk_b64"], validate=True)
         except Exception:
             return _error(400, "chunk_b64 is not valid base64")
-        ack = self._server.receive_chunk(kind, data)
+        try:
+            ack = self._server.receive_chunk(kind, data)
+        except Throttled as error:
+            return ApiResponse(
+                429,
+                {
+                    "error": "server overloaded; retry later",
+                    "retry_after": error.retry_after,
+                },
+            )
+        except UploadError:
+            # Server-side receive failure (e.g. injected crash/rejection
+            # during chaos runs): no ack exists, the client must retry.
+            return _error(503, "chunk not stored; retry")
         # The hash acknowledgement the app's buffer verifies (§3).
         return ApiResponse(200, {"sha256": ack})
 
@@ -189,6 +203,8 @@ class RacketStoreApi:
                 "records_inserted": stats.records_inserted,
                 "malformed_chunks": stats.malformed_chunks,
                 "malformed_records": stats.malformed_records,
+                "duplicate_chunks": stats.duplicate_chunks,
+                "chunk_rollbacks": stats.chunk_rollbacks,
                 "requests_by_country": dict(self.country_counts),
             },
         )

@@ -2,11 +2,19 @@
 
 §3 "Data Buffer Module": snapshots are appended to per-type
 accumulation files; when the slow file reaches 8 KB or the fast file
-reaches 100 KB the file is gzip-compressed and queued.  Every 2 minutes
-the upload alarm sends queued chunks to the server, which acknowledges
-with the SHA-256 of the received bytes; the app deletes a chunk only
-when the acknowledged hash matches its own, otherwise the chunk is
-retransmitted ("resilient communications").
+reaches 100 KB the file is gzip-compressed and queued.  The upload
+alarm sends queued chunks to the server, which acknowledges with the
+SHA-256 of the received bytes; the app deletes a chunk only when the
+acknowledged hash matches its own, otherwise the chunk is retransmitted
+("resilient communications").
+
+Retransmission discipline: a failed chunk is rescheduled with
+exponential backoff on the *virtual* clock (never the wall clock —
+statan DET002), with seeded jitter when the caller injects a Generator.
+A :class:`~repro.platform.errors.Throttled` response opens a circuit
+breaker for the server's ``Retry-After`` window, and chunks that exhaust
+the optional retry budget park on a dead-letter queue instead of
+blocking the rest of the flush.
 """
 
 from __future__ import annotations
@@ -14,12 +22,20 @@ from __future__ import annotations
 import gzip
 import hashlib
 import json
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from .. import obs
+from .errors import Throttled, UploadError
 from .models import record_to_dict
 
 __all__ = ["BufferedChunk", "DataBuffer", "chunk_hash"]
+
+#: Exponential-backoff schedule (virtual seconds): base * 2**(attempts-1),
+#: capped, optionally jittered by a factor drawn from [0.5, 1.5).
+BACKOFF_BASE_S = 120.0
+BACKOFF_CAP_S = 3600.0
+
+_BACKOFF_BUCKETS = (60.0, 120.0, 240.0, 480.0, 960.0, 1920.0, 3600.0, 5400.0)
 
 
 def chunk_hash(data: bytes) -> str:
@@ -35,10 +51,18 @@ class BufferedChunk:
     data: bytes
     n_records: int
     attempts: int = 0
+    #: Virtual timestamp before which the retry scheduler skips this
+    #: chunk; 0.0 means due immediately.
+    next_attempt_at: float = 0.0
+    _sha256: str | None = field(default=None, repr=False)
 
     @property
     def sha256(self) -> str:
-        return chunk_hash(self.data)
+        # Chunk bytes are immutable once sealed, so the transfer hash is
+        # computed once instead of per attempt in the retry hot loop.
+        if self._sha256 is None:
+            self._sha256 = chunk_hash(self.data)
+        return self._sha256
 
 
 class DataBuffer:
@@ -48,15 +72,23 @@ class DataBuffer:
         self,
         fast_threshold_bytes: int = 100 * 1024,
         slow_threshold_bytes: int = 8 * 1024,
+        retry_budget: int = 0,
     ) -> None:
         self.thresholds = {"fast": fast_threshold_bytes, "slow": slow_threshold_bytes}
         self._accumulating: dict[str, list[str]] = {"fast": [], "slow": []}
         self._accumulated_bytes: dict[str, int] = {"fast": 0, "slow": 0}
         self._pending: list[BufferedChunk] = []
+        self._dead_letters: list[BufferedChunk] = []
+        self._circuit_open_until = 0.0
+        #: Attempts allowed per chunk before it is dead-lettered;
+        #: 0 means unlimited (the alarm retries forever).
+        self.retry_budget = int(retry_budget)
         self.records_buffered = 0
         self.chunks_sealed = 0
         self.chunks_delivered = 0
         self.retransmissions = 0
+        self.chunks_dead_lettered = 0
+        self.throttle_trips = 0
 
     # -- accumulation -------------------------------------------------------
     def append(self, kind: str, record) -> None:
@@ -99,32 +131,100 @@ class DataBuffer:
     def pending_chunks(self) -> int:
         return len(self._pending)
 
-    def flush(self, transport, max_attempts: int = 5) -> int:
-        """Send pending chunks through ``transport``; delete each only on
-        a matching hash acknowledgement.  ``max_attempts`` bounds the
-        sends *per chunk per flush call*; undelivered chunks stay queued
-        for the next flush (the 2-minute alarm retries them forever).
-        Returns the number of records delivered this call."""
+    @property
+    def dead_letter_chunks(self) -> int:
+        return len(self._dead_letters)
+
+    def requeue_dead_letters(self) -> int:
+        """Put dead-lettered chunks back on the retry queue with a fresh
+        attempt count (operator-driven replay, e.g. after the channel
+        heals at study close).  Returns the number requeued."""
+        requeued = len(self._dead_letters)
+        for chunk in self._dead_letters:
+            chunk.attempts = 0
+            chunk.next_attempt_at = 0.0
+        self._pending.extend(self._dead_letters)
+        self._dead_letters.clear()
+        return requeued
+
+    def _schedule_retry(self, chunk: BufferedChunk, now: float, rng) -> None:
+        backoff = min(
+            BACKOFF_CAP_S, BACKOFF_BASE_S * 2.0 ** min(chunk.attempts - 1, 16)
+        )
+        if rng is not None:
+            backoff *= 0.5 + float(rng.random())  # seeded jitter, [0.5x, 1.5x)
+        obs.histogram(
+            "buffer_backoff_seconds", {"kind": chunk.kind}, buckets=_BACKOFF_BUCKETS
+        ).observe(backoff)
+        chunk.next_attempt_at = now + backoff
+
+    def flush(self, transport, now: float | None = None, *, rng=None) -> int:
+        """One upload pass at virtual time ``now``: attempt each due
+        chunk once, delete it only on a matching hash acknowledgement,
+        otherwise reschedule it with exponential backoff (seeded jitter
+        when ``rng`` is given).  ``now=None`` treats every pending chunk
+        as due and schedules from t=0 (legacy single-shot behaviour).
+        A :class:`Throttled` response opens the circuit breaker for the
+        server's ``retry_after`` and ends the pass early.  Returns the
+        number of records delivered this call."""
+        clock = 0.0 if now is None else float(now)
+        if clock < self._circuit_open_until and now is not None:
+            return 0
         delivered_records = 0
         still_pending: list[BufferedChunk] = []
+        throttled = False
         for chunk in self._pending:
-            delivered = False
-            for _ in range(max_attempts):
-                chunk.attempts += 1
-                if chunk.attempts > 1:
-                    self.retransmissions += 1
-                    obs.counter("buffer_retransmissions_total").inc()
+            if throttled or (now is not None and chunk.next_attempt_at > clock):
+                still_pending.append(chunk)
+                continue
+            try:
                 ack = transport.send(chunk.kind, chunk.data)
-                if ack == chunk.sha256:
-                    delivered = True
-                    break
-            if delivered:
+            except Throttled as exc:
+                # Server backpressure is not the chunk's fault: it burns
+                # no attempt, and the breaker holds off the whole queue.
+                self.throttle_trips += 1
+                self._circuit_open_until = max(
+                    self._circuit_open_until, clock + max(exc.retry_after, 1.0)
+                )
+                obs.counter("buffer_throttle_trips_total").inc()
+                throttled = True
+                still_pending.append(chunk)
+                continue
+            except UploadError:
+                ack = None  # server-side failure: no acknowledgement came back
+            chunk.attempts += 1
+            if chunk.attempts > 1:
+                self.retransmissions += 1
+                obs.counter("buffer_retransmissions_total").inc()
+            if ack == chunk.sha256:
                 delivered_records += chunk.n_records
                 self.chunks_delivered += 1
-            else:
-                still_pending.append(chunk)
+                continue
+            if self.retry_budget and chunk.attempts >= self.retry_budget:
+                self._dead_letters.append(chunk)
+                self.chunks_dead_lettered += 1
+                obs.counter("buffer_dead_letters_total", {"kind": chunk.kind}).inc()
+                continue
+            self._schedule_retry(chunk, clock, rng)
+            still_pending.append(chunk)
         self._pending = still_pending
         obs.counter("buffer_records_delivered_total").inc(delivered_records)
         if still_pending:
             obs.counter("buffer_flushes_incomplete_total").inc()
         return delivered_records
+
+    def drain(self, transport, *, now: float, deadline: float, rng=None) -> int:
+        """Flush repeatedly over a virtual-time window, advancing the
+        clock to the next due retry (or circuit-breaker expiry) between
+        passes, until the queue empties or the next attempt would land
+        past ``deadline``.  This models the upload alarm re-firing with
+        backoff across the day.  Returns the records delivered."""
+        delivered = 0
+        clock = float(now)
+        while self._pending:
+            due = min(chunk.next_attempt_at for chunk in self._pending)
+            clock = max(clock, due, self._circuit_open_until)
+            if clock > deadline:
+                break
+            delivered += self.flush(transport, clock, rng=rng)
+        return delivered

@@ -1,0 +1,28 @@
+"""Upload-path error signals shared by buffer, server and fault plane.
+
+This is a leaf module: both :mod:`repro.platform.buffer` (the client
+retry loop) and :mod:`repro.faults` (the injection plane) need the same
+exception taxonomy, and neither may import the other.
+"""
+
+from __future__ import annotations
+
+__all__ = ["Throttled", "UploadError"]
+
+
+class UploadError(Exception):
+    """A chunk upload failed server-side before an acknowledgement was
+    produced.  The client keeps the chunk queued and retransmits; the
+    server's dedup window makes the retransmission safe."""
+
+
+class Throttled(UploadError):
+    """Server-directed backpressure (HTTP 429 semantics).
+
+    The client must open its circuit breaker and retry no sooner than
+    ``retry_after`` seconds of virtual time from now.
+    """
+
+    def __init__(self, retry_after: float) -> None:
+        super().__init__(f"throttled; retry after {retry_after:g}s")
+        self.retry_after = float(retry_after)

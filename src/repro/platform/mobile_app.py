@@ -161,9 +161,14 @@ class RacketStoreApp:
         rng: np.random.Generator | None = None,
         server=None,
         transport=None,
+        backoff_rng: np.random.Generator | None = None,
     ) -> str:
         """Validate the participant code with the server and mint the
-        install ID.  No data is collected before this succeeds (§3)."""
+        install ID.  No data is collected before this succeeds (§3).
+
+        ``backoff_rng`` (optional) jitters upload retry backoff; it is a
+        dedicated stream so retry scheduling never perturbs behaviour
+        draws from ``rng``."""
         rng = rng if rng is not None else self._rng
         server = server if server is not None else self._server
         transport = transport if transport is not None else self._transport
@@ -177,13 +182,24 @@ class RacketStoreApp:
             android_id=self.device.android_id,
             timestamp=timestamp,
         )
-        self._send_initial_snapshot(timestamp, transport)
+        self._send_initial_snapshot(timestamp, transport, backoff_rng)
         return self.install_id
 
-    def uninstall(self, timestamp: float, *, transport=None) -> None:
+    def uninstall(
+        self,
+        timestamp: float,
+        *,
+        transport=None,
+        backoff_rng: np.random.Generator | None = None,
+    ) -> None:
         transport = transport if transport is not None else self._transport
         self.buffer.seal_all()
-        self.buffer.flush(transport)
+        self.buffer.drain(
+            transport,
+            now=float(timestamp),
+            deadline=float(timestamp) + SECONDS_PER_DAY,
+            rng=backoff_rng,
+        )
         self.uninstalled_at = float(timestamp)
 
     @property
@@ -191,7 +207,9 @@ class RacketStoreApp:
         return self.install_id is not None and self.uninstalled_at is None
 
     # -- initial collector ------------------------------------------------------
-    def _send_initial_snapshot(self, timestamp: float, transport) -> None:
+    def _send_initial_snapshot(
+        self, timestamp: float, transport, backoff_rng=None
+    ) -> None:
         apps = []
         for rec in sorted(self.device.installed.values(), key=lambda r: r.package):
             granted_dangerous = sum(
@@ -229,7 +247,12 @@ class RacketStoreApp:
         )
         self.buffer.append("slow", snapshot)
         self.buffer.seal_all()
-        self.buffer.flush(transport)
+        self.buffer.drain(
+            transport,
+            now=float(timestamp),
+            deadline=float(timestamp) + SECONDS_PER_DAY,
+            rng=backoff_rng,
+        )
 
     # -- daily collection ---------------------------------------------------------
     def collect_day(
@@ -238,6 +261,7 @@ class RacketStoreApp:
         *,
         rng: np.random.Generator | None = None,
         transport=None,
+        backoff_rng: np.random.Generator | None = None,
     ) -> None:
         """Run both collectors over one study day and upload."""
         if not self.active:
@@ -250,7 +274,9 @@ class RacketStoreApp:
         self._emit_slow_runs(windows)
         self._emit_app_changes(day_start, day_end)
         self.buffer.seal_all()
-        self.buffer.flush(transport)
+        self.buffer.drain(
+            transport, now=day_start, deadline=day_end, rng=backoff_rng
+        )
 
     def _coverage_windows(
         self, day_start: float, day_end: float, rng: np.random.Generator

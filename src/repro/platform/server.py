@@ -78,6 +78,17 @@ class IngestStats:
         """Backwards-compatible pre-split count (chunks + records)."""
         return self.malformed_chunks + self.malformed_records
 
+    @property
+    def duplicate_chunks(self) -> int:
+        """Retransmitted chunks absorbed by the dedup window (the chunk
+        was already durably stored; only the ack had been lost)."""
+        return int(self._registry.value("ingest_duplicate_chunks_total"))
+
+    @property
+    def chunk_rollbacks(self) -> int:
+        """Chunk ingests rolled back after a mid-insert failure."""
+        return int(self._registry.value("ingest_chunk_rollbacks_total"))
+
 
 @dataclass
 class PaymentLedger:
@@ -94,11 +105,18 @@ class PaymentLedger:
 class RacketStoreServer:
     """The backend the mobile apps report to."""
 
+    #: Default dedup-window capacity: retransmits arrive within a few
+    #: alarm cycles of the original, so a bounded recent-chunk memory is
+    #: enough for exactly-once ingest without unbounded growth.
+    DEDUP_WINDOW = 65_536
+
     def __init__(
         self,
         store: DocumentStore | None = None,
         review_crawler=None,
         registry: MetricsRegistry | None = None,
+        *,
+        dedup_window: int | None = None,
     ) -> None:
         self.store = store or DocumentStore()
         self.review_crawler = review_crawler
@@ -126,9 +144,24 @@ class RacketStoreServer:
             "ingest_malformed_records_total",
             help="record lines dropped for schema drift (bad JSON/shape)",
         )
+        self._c_duplicates = registry.counter(
+            "ingest_duplicate_chunks_total",
+            help="retransmitted chunks already durably stored (dedup hits)",
+        )
+        self._c_rollbacks = registry.counter(
+            "ingest_chunk_rollbacks_total",
+            help="chunk ingests rolled back after a mid-insert failure",
+        )
         self._h_latency = registry.histogram(
             "ingest_chunk_seconds", help="receive_chunk wall time"
         )
+        # Idempotent-receive memory: SHA-256 of every recently ingested
+        # chunk, evicted FIFO past the window (dict preserves insertion
+        # order).
+        self._dedup_window = (
+            self.DEDUP_WINDOW if dedup_window is None else int(dedup_window)
+        )
+        self._seen_chunks: dict[str, None] = {}
         self.payments = PaymentLedger()
         self._participants: set[str] = set()
         self._participant_counter = itertools.count(100_000)
@@ -171,13 +204,26 @@ class RacketStoreServer:
 
         Records are validated line by line but inserted as one typed
         batch per snapshot family, so a columnar collection appends
-        whole column runs instead of re-dispatching per document."""
+        whole column runs instead of re-dispatching per document.
+
+        Exactly-once contract: a chunk whose hash sits in the dedup
+        window is re-acknowledged without inserting (its records are
+        already durably stored; only the previous ack was lost in
+        transit), and a receive that fails mid-insert rolls every
+        snapshot collection back to its pre-chunk mark before the
+        failure propagates — the store never exposes a partial chunk."""
         ack = chunk_hash(data)
         self._c_chunks.inc()
         self._c_bytes.inc(len(data))
         # obs.timer observes on every exit path, so the malformed-chunk
         # early return is recorded too.
         with obs.timer(self._h_latency), obs.trace("ingest.chunk"):
+            if ack in self._seen_chunks:
+                self._c_duplicates.inc()
+                obs.get_logger("ingest").info(
+                    "duplicate_chunk", kind=kind, sha256=ack[:12]
+                )
+                return ack
             try:
                 lines = gzip.decompress(data).decode().splitlines()
             except (OSError, UnicodeDecodeError):
@@ -198,19 +244,41 @@ class RacketStoreServer:
                     obs.get_logger("ingest").warning("malformed_record", kind=kind)
                     continue
                 records.append((payload["_type"], payload))
-            self._insert_batches(records)
+            marks = [
+                (collection, collection.mark())
+                for collection in (
+                    self.store[name] for name in _COLLECTIONS.values()
+                )
+            ]
+            try:
+                inserted = self._insert_batches(records)
+            except BaseException:
+                for collection, mark in marks:
+                    collection.rollback_to(mark)
+                self._c_rollbacks.inc()
+                obs.get_logger("ingest").warning(
+                    "chunk_rollback", kind=kind, sha256=ack[:12]
+                )
+                raise
+            self._c_records.inc(inserted)
+            self._remember_chunk(ack)
         return ack
 
-    def _insert_batches(self, records: list[tuple[str, dict]]) -> None:
+    def _remember_chunk(self, sha256: str) -> None:
+        self._seen_chunks[sha256] = None
+        while len(self._seen_chunks) > self._dedup_window:
+            self._seen_chunks.pop(next(iter(self._seen_chunks)))
+
+    def _insert_batches(self, records: list[tuple[str, dict]]) -> int:
         batches: dict[str, list[dict]] = {name: [] for name in _COLLECTIONS}
         for type_name, payload in records:
             batches[type_name].append(payload)
+        inserted = 0
         for type_name, batch in batches.items():
             if batch:
-                inserted = self.store[_COLLECTIONS[type_name]].insert_many(batch)
-                self._c_records.inc(inserted)
+                inserted += self.store[_COLLECTIONS[type_name]].insert_many(batch)
         if self.review_crawler is None:
-            return
+            return inserted
         # Backend: follow every app seen on a participant device (§5),
         # in wire order.
         for type_name, payload in records:
@@ -219,6 +287,7 @@ class RacketStoreServer:
                     self.review_crawler.track_app(app["package"])
             elif type_name == "app_change" and payload["action"] == "install":
                 self.review_crawler.track_app(payload["package"])
+        return inserted
 
     # -- queries used by the analyses ------------------------------------------------
     def install_ids(self) -> list[str]:

@@ -114,6 +114,23 @@ class Collection:
             index[document.get(fieldname)].append(position)
         self._indexes[fieldname] = index
 
+    # -- transactional marks -------------------------------------------
+    def mark(self) -> int:
+        """Watermark for :meth:`rollback_to` (current document count)."""
+        return len(self._documents)
+
+    def rollback_to(self, mark: int) -> None:
+        """Undo every insert since ``mark`` (atomic chunk commit: a
+        receive that fails mid-insert must not leave partial state).
+        Index buckets append positions in insertion order, so the
+        entries to drop are exactly each bucket's tail."""
+        while len(self._documents) > mark:
+            document = self._documents.pop()
+            for fieldname, index in self._indexes.items():
+                bucket = index.get(document.get(fieldname))
+                if bucket:
+                    bucket.pop()
+
     def _candidates(self, query: dict) -> Iterator[dict]:
         # Use an index when the query has an equality match on an
         # indexed field; otherwise scan.
@@ -444,6 +461,25 @@ class ColumnarCollection:
                 for offset, document in enumerate(documents):
                     index[document.get(fieldname)].append(start + offset)
         return count
+
+    # -- transactional marks -------------------------------------------
+    def mark(self) -> tuple[int, int]:
+        """Watermark for :meth:`rollback_to`: (merged rows, staged rows).
+        Valid only while no read merges the backlog — exactly the
+        server's receive window, which never reads mid-chunk."""
+        return (len(self._frame), len(self._staged))
+
+    def rollback_to(self, mark: tuple[int, int]) -> None:
+        """Undo every insert since ``mark`` by truncating the staged
+        backlog (inserts only ever stage, so the frame and its indexes
+        were never touched and all length-stamped caches stay valid)."""
+        frame_len, staged_len = mark
+        if len(self._frame) != frame_len:
+            raise RuntimeError(
+                f"collection {self.name!r}: staged writes were merged "
+                "after the mark was taken; cannot roll back"
+            )
+        del self._staged[staged_len:]
 
     def _degrade_to_generic(self) -> None:
         generic = ColumnFrame()

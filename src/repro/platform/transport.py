@@ -12,7 +12,6 @@ from __future__ import annotations
 import numpy as np
 
 from .. import obs
-from .buffer import chunk_hash
 
 __all__ = ["Transport", "LossyTransport"]
 
@@ -77,7 +76,8 @@ class LossyTransport(Transport):
             self.chunks_corrupted += 1
             obs.counter("transport_chunks_corrupted_total").inc()
             corrupted = bytes([data[0] ^ 0xFF]) + data[1:]
-            # Server stores nothing (decompression fails) but echoes the
-            # hash of what it received, which will not match the sender's.
-            return chunk_hash(corrupted)
+            # The damaged bytes reach the real receiver: the server counts
+            # the malformed chunk and acks the hash of what it received,
+            # which will not match the sender's, forcing a retransmit.
+            return self._receiver.receive_chunk(kind, corrupted)
         return self._receiver.receive_chunk(kind, data)

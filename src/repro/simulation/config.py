@@ -13,6 +13,10 @@ because the synthetic catalog's absolute review volumes are scaled too.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..faults.plan import FaultPlan
 
 __all__ = ["SimulationConfig", "DEFAULT_SEED"]
 
@@ -90,6 +94,15 @@ class SimulationConfig:
     #: produce byte-identical analyses — this knob exists for the
     #: equivalence tests and the data-plane benchmark.
     store_backend: str | None = None
+
+    #: Optional seeded fault-injection plan
+    #: (:class:`repro.faults.FaultPlan`).  ``None`` — the default — keeps
+    #: the paper-calibrated legacy channel (loss only, drawn from the
+    #: behaviour rng).  A plan reroutes the upload path through
+    #: ``FaultyTransport``/``FaultableServer`` with dedicated seeded
+    #: fault streams; the chaos harness asserts the study digest is
+    #: byte-identical either way.
+    fault_plan: "FaultPlan | None" = None
 
     def scaled(self, **overrides) -> "SimulationConfig":
         """Copy with overrides (frozen-dataclass convenience)."""

@@ -34,6 +34,13 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..faults.errors import FaultInjected
+from ..faults.plan import (
+    FAULT_STREAM_BACKOFF,
+    FAULT_STREAM_TRANSPORT,
+    FaultPlan,
+)
+from ..faults.transport import FaultyTransport
 from ..platform.buffer import chunk_hash
 from ..platform.mobile_app import AppState, RacketStoreApp
 from ..platform.transport import LossyTransport
@@ -253,6 +260,9 @@ class DayParams:
     review_volume_multiplier: float
     review_delay_multiplier: float
     loss_probability: float
+    #: Optional seeded fault plan; ``None`` keeps the legacy lossy
+    #: channel driven by the behaviour rng.
+    fault_plan: FaultPlan | None = None
 
 
 def build_day_params(engine) -> DayParams:
@@ -268,6 +278,7 @@ def build_day_params(engine) -> DayParams:
         review_volume_multiplier=config.worker_review_volume_multiplier,
         review_delay_multiplier=config.worker_review_delay_multiplier,
         loss_probability=config.transport_loss_probability,
+        fault_plan=config.fault_plan,
     )
 
 
@@ -582,19 +593,60 @@ def _run_device_day(
     rng = np.random.default_rng(seed)
     log = ActionLog()
     uplink = RecordingUplink(log)
-    transport = LossyTransport(
-        uplink, rng=rng, loss_probability=params.loss_probability
-    )
+    plan = params.fault_plan
+    if plan is None:
+        transport = LossyTransport(
+            uplink, rng=rng, loss_probability=params.loss_probability
+        )
+        backoff_rng = None
+    else:
+        # Fault and backoff draws come from dedicated per-seed streams,
+        # never the behaviour rng: the plan must only move *when* chunks
+        # arrive, not change what the simulated day contains.
+        transport = FaultyTransport(
+            uplink,
+            plan=plan,
+            rng=np.random.default_rng([seed, FAULT_STREAM_TRANSPORT]),
+            day=int(day_start // SECONDS_PER_DAY),
+        )
+        backoff_rng = np.random.default_rng([seed, FAULT_STREAM_BACKOFF])
     device = task.device
     app = RacketStoreApp.from_state(device, task.app_state)
+    if plan is not None:
+        app.buffer.retry_budget = plan.retry_budget
     if task.needs_sign_in:
-        app.sign_in(day_start, rng=rng, server=uplink, transport=transport)
+        app.sign_in(
+            day_start,
+            rng=rng,
+            server=uplink,
+            transport=transport,
+            backoff_rng=backoff_rng,
+        )
     pending = list(task.pending)
     runner = DeviceDayRunner(params, ShardBoardView(board), rng, log, task.reviewed)
     runner.simulate_day(device, task.persona, day_start, task.favorites, pending)
-    app.collect_day(day_start, rng=rng, transport=transport)
+    app.collect_day(
+        day_start, rng=rng, transport=transport, backoff_rng=backoff_rng
+    )
     if task.final_day:
-        app.uninstall(day_start + SECONDS_PER_DAY, transport=transport)
+        app.uninstall(
+            day_start + SECONDS_PER_DAY,
+            transport=transport,
+            backoff_rng=backoff_rng,
+        )
+        if plan is not None:
+            # Study-close reconciliation for this install: dead letters
+            # replay and the channel heals, so every sealed chunk
+            # reaches the uplink log — faults delay deliveries, they
+            # never erase them.
+            app.buffer.requeue_dead_letters()
+            transport.heal()
+            app.buffer.drain(
+                transport,
+                now=day_start + SECONDS_PER_DAY,
+                deadline=day_start + 2 * SECONDS_PER_DAY,
+                rng=backoff_rng,
+            )
     return DeviceDayResult(
         index=task.index,
         device_id=device.device_id,
@@ -628,7 +680,13 @@ def commit_day(
     for result in sorted(results, key=lambda r: r.device_id):
         for action in result.actions:
             if isinstance(action, ChunkUpload):
-                server.receive_chunk(action.kind, action.data)
+                try:
+                    server.receive_chunk(action.kind, action.data)
+                except FaultInjected:
+                    # Injected server failure: no ack exists, so the
+                    # chunk parks on the server's redelivery queue and
+                    # retries on a later day (dedup makes that safe).
+                    server.queue_redelivery(action.kind, action.data)
             elif isinstance(action, ReviewPost):
                 review_store.post_review(
                     action.package, action.google_id, action.rating, action.timestamp

@@ -23,6 +23,8 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from .. import obs
+from ..faults.plan import FAULT_STREAM_SERVER
+from ..faults.server import FaultableServer
 from ..parallel import draw_seeds, parallel_map, resolve_n_jobs
 from ..platform.mobile_app import RacketStoreApp
 from ..platform.server import RacketStoreServer
@@ -155,9 +157,21 @@ def build_world(config: SimulationConfig | None = None) -> tuple[StudyData, Beha
         panel, _malware_oracle_factory(catalog), availability=config.vt_availability
     )
 
-    server = RacketStoreServer(
-        DocumentStore(backend=config.store_backend), review_crawler=review_crawler
-    )
+    if config.fault_plan is not None:
+        # Server-side fault draws come from a dedicated per-study stream
+        # (never the world rng), consumed in deterministic phase-2
+        # commit order — so injections are identical at any n_jobs and
+        # the world realization matches the clean run byte for byte.
+        server: RacketStoreServer = FaultableServer(
+            DocumentStore(backend=config.store_backend),
+            review_crawler=review_crawler,
+            plan=config.fault_plan,
+            rng=np.random.default_rng([config.seed, FAULT_STREAM_SERVER]),
+        )
+    else:
+        server = RacketStoreServer(
+            DocumentStore(backend=config.store_backend), review_crawler=review_crawler
+        )
     engine = BehaviorEngine(config, catalog, review_store, board, rng)
     factory = AccountFactory(directory, rng)
 
@@ -296,11 +310,19 @@ def _run_study_traced(
         device_days_counter = obs.counter("sim_device_days_total")
         days_counter = obs.counter("sim_days_total")
 
+    faultable = isinstance(data.server, FaultableServer)
+
     # -- study days ------------------------------------------------------
     with obs.trace("simulate.days"):
         for day in range(config.study_days):
             day_start = day * SECONDS_PER_DAY
             with obs.trace("simulate.day"):
+                if faultable:
+                    # Start-of-day reconciliation: chunks whose commit
+                    # failed on an earlier day are redelivered before
+                    # anything else happens today.
+                    data.server.set_day(day)
+                    data.server.redeliver_pending()
                 # Phase 1 (device-local): one task and one pre-drawn seed
                 # per active device-day, in participant order — the
                 # historical RNG order the seeds contract requires.
@@ -350,6 +372,12 @@ def _run_study_traced(
                     review_store=data.review_store,
                     server=data.server,
                 )
+                if faultable and day == config.study_days - 1:
+                    # Study close: deliver every still-parked chunk with
+                    # injection off *before* the final crawl rounds, so
+                    # late-tracked apps still get their first crawl and
+                    # the crawled corpus matches the clean run.
+                    data.server.drain_redelivery()
                 data.rank_tracker.record_day(day, boosts=_promo_boosts(data.board))
                 # §5: the review crawler runs every 12 hours.
                 data.review_crawler.crawl_round()

@@ -1,0 +1,306 @@
+"""End-to-end exactly-once ingest under injected faults.
+
+The harness wires the real client pieces to the real server pieces:
+``DataBuffer`` (backoff + retry budget) → ``FaultyTransport`` (loss,
+corruption, ack loss) → ``FaultableServer`` (overload, store rejection,
+receive crashes) → ``DocumentStore``.  Whatever the fault schedule, the
+store must end up holding every record exactly once — and a crashed
+receive must never leave a partial chunk behind.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.faults import (
+    FaultPlan,
+    FaultSpec,
+    FaultableServer,
+    FaultyTransport,
+    ServerCrash,
+    StoreRejected,
+)
+from repro.platform.buffer import DataBuffer, chunk_hash
+from repro.platform.models import FastSnapshotRun
+from repro.platform.server import _COLLECTIONS
+from repro.platform.store import DocumentStore
+from repro.platform.transport import Transport
+
+DAY_S = 86_400.0
+
+
+def fast_run(i: int) -> FastSnapshotRun:
+    return FastSnapshotRun(
+        install_id="inst",
+        participant_id="100001",
+        start=float(i),
+        end=float(i) + 60.0,
+        period=5.0,
+        foreground=f"com.app{i}",
+        screen_on=True,
+        battery=0.9,
+    )
+
+
+def sealed_buffer(n_records: int, threshold: int = 400, **kwargs) -> DataBuffer:
+    buffer = DataBuffer(fast_threshold_bytes=threshold, **kwargs)
+    for i in range(n_records):
+        buffer.append("fast", fast_run(i))
+    buffer.seal_all()
+    return buffer
+
+
+def chunk_bytes(n_records: int = 8) -> bytes:
+    """One sealed compressed chunk holding ``n_records`` fast runs."""
+    buffer = sealed_buffer(n_records, threshold=10**6)
+    return buffer._pending[0].data
+
+
+def make_server(plan: FaultPlan, seed: int = 0) -> FaultableServer:
+    return FaultableServer(
+        DocumentStore(), plan=plan, rng=np.random.default_rng([seed, 0x5E4])
+    )
+
+
+def collection_contents(server) -> dict[str, list[tuple]]:
+    """Every snapshot collection's documents as hashable rows."""
+    return {
+        name: sorted(
+            tuple(sorted(doc.items())) for doc in server.store[name].find()
+        )
+        for name in _COLLECTIONS.values()
+    }
+
+
+def assert_no_duplicates(server) -> None:
+    for name, rows in collection_contents(server).items():
+        assert len(rows) == len(set(rows)), f"duplicate records in {name}"
+
+
+class TestAckLossRetransmission:
+    @settings(max_examples=12, deadline=None)
+    @given(st.integers(0, 10_000), st.integers(1, 30))
+    def test_property_retransmits_never_duplicate(self, seed, n_records):
+        """Satellite: ack loss after durable store plus retransmission
+        yields zero duplicate records in every collection — whatever the
+        seeded loss/ack-loss schedule does."""
+        plan = FaultPlan(
+            transport_loss=FaultSpec(0.3),
+            ack_loss=FaultSpec(0.4),
+        )
+        server = make_server(plan, seed)
+        transport = FaultyTransport(
+            server, plan=plan, rng=np.random.default_rng([seed, 0x7A0])
+        )
+        buffer = sealed_buffer(n_records)
+        buffer.drain(
+            transport,
+            now=0.0,
+            deadline=10**8,
+            rng=np.random.default_rng([seed, 0xB0]),
+        )
+        assert buffer.pending_chunks == 0
+        fast_docs = server.store["fast_runs"].find()
+        assert sorted(d["start"] for d in fast_docs) == [
+            float(i) for i in range(n_records)
+        ]
+        assert_no_duplicates(server)
+        if transport.acks_lost:
+            assert server.stats.duplicate_chunks > 0
+
+    def test_certain_ack_loss_single_server_copy(self):
+        """With every ack lost the client retries into its budget and
+        dead-letters, yet the server holds exactly one copy; healing the
+        channel and requeueing reconciles the client's view."""
+        plan = FaultPlan(ack_loss=FaultSpec(1.0), retry_budget=4)
+        server = make_server(plan)
+        transport = FaultyTransport(
+            server, plan=plan, rng=np.random.default_rng([0, 0x7A0])
+        )
+        buffer = sealed_buffer(3, threshold=10**6, retry_budget=plan.retry_budget)
+        buffer.drain(transport, now=0.0, deadline=10**8)
+        assert buffer.dead_letter_chunks == 1  # client never saw an ack
+        assert server.stats.chunks_received == 4  # original + 3 retransmits
+        assert server.stats.duplicate_chunks == 3
+        assert len(server.store["fast_runs"]) == 3  # exactly one copy
+        assert_no_duplicates(server)
+
+        buffer.requeue_dead_letters()
+        transport.heal()
+        delivered = buffer.drain(transport, now=0.0, deadline=10**8)
+        assert delivered == 3
+        assert buffer.pending_chunks == buffer.dead_letter_chunks == 0
+        assert len(server.store["fast_runs"]) == 3  # dedup absorbed the replay
+        assert_no_duplicates(server)
+
+
+class TestCrashMidChunk:
+    def test_store_never_exposes_a_partial_chunk(self):
+        """Satellite: a receive crash mid-chunk (a prefix of the records
+        already inserted) leaves every collection exactly as it was."""
+        plan = FaultPlan(receive_crash=FaultSpec(1.0))
+        server = make_server(plan, seed=3)
+        data = chunk_bytes()
+        before = collection_contents(server)
+        crashes = 0
+        for _ in range(5):  # several crash points (seeded prefix draw)
+            with pytest.raises(ServerCrash):
+                server.receive_chunk("fast", data)
+            crashes += 1
+            assert collection_contents(server) == before
+        assert server.stats.chunk_rollbacks == crashes
+        assert server.stats.records_inserted == 0
+
+        server.heal()
+        ack = server.receive_chunk("fast", data)
+        assert ack == chunk_hash(data)
+        assert len(server.store["fast_runs"]) == 8
+        # The post-crash redelivery is remembered: replaying it dedups.
+        server.receive_chunk("fast", data)
+        assert server.stats.duplicate_chunks == 1
+        assert len(server.store["fast_runs"]) == 8
+        assert_no_duplicates(server)
+
+    def test_crash_rollback_both_store_backends(self):
+        for backend in ("dict", "columnar"):
+            plan = FaultPlan(receive_crash=FaultSpec(1.0))
+            server = FaultableServer(
+                DocumentStore(backend=backend),
+                plan=plan,
+                rng=np.random.default_rng([9, 0x5E4]),
+            )
+            data = chunk_bytes()
+            with pytest.raises(ServerCrash):
+                server.receive_chunk("fast", data)
+            assert len(server.store["fast_runs"]) == 0, backend
+            server.heal()
+            server.receive_chunk("fast", data)
+            assert len(server.store["fast_runs"]) == 8, backend
+
+
+class TestStoreRejectAndRedelivery:
+    def test_day_windowed_rejection_then_clean_retry(self):
+        plan = FaultPlan(store_reject=FaultSpec(1.0, days=(0,)))
+        server = make_server(plan)
+        data = chunk_bytes(4)
+        with pytest.raises(StoreRejected):
+            server.receive_chunk("fast", data)
+        server.queue_redelivery("fast", data)
+        assert server.redelivery_backlog == 1
+        assert len(server.store["fast_runs"]) == 0
+
+        server.set_day(1)  # rejection window over
+        assert server.redeliver_pending() == 1
+        assert server.redelivery_backlog == 0
+        assert server.redelivered_chunks == 1
+        assert len(server.store["fast_runs"]) == 4
+        # The redelivered chunk is remembered: a late client retry dedups.
+        server.receive_chunk("fast", data)
+        assert server.stats.duplicate_chunks == 1
+        assert len(server.store["fast_runs"]) == 4
+
+    def test_redelivery_reparks_while_fault_persists(self):
+        plan = FaultPlan(store_reject=FaultSpec(1.0))
+        server = make_server(plan)
+        server.queue_redelivery("fast", chunk_bytes(2))
+        assert server.redeliver_pending() == 0
+        assert server.redelivery_backlog == 1
+        assert server.drain_redelivery() == 1  # heal + deliver
+        assert server.redelivery_backlog == 0
+        assert len(server.store["fast_runs"]) == 2
+
+
+class TestOverloadCircuitBreaker:
+    def test_throttle_backs_off_then_delivers_once(self):
+        plan = FaultPlan(
+            overload=FaultSpec(1.0, days=(0,)), overload_retry_after_s=1800.0
+        )
+        server = make_server(plan)
+        transport = Transport(server)
+        buffer = sealed_buffer(5, threshold=10**6, retry_budget=8)
+        assert buffer.flush(transport, 0.0) == 0
+        assert buffer.throttle_trips == 1
+        assert buffer._circuit_open_until == 1800.0
+        assert buffer._pending[0].attempts == 0  # throttle burns no budget
+        assert len(server.store["fast_runs"]) == 0
+
+        server.set_day(1)  # overload window over
+        delivered = buffer.drain(transport, now=0.0, deadline=DAY_S)
+        assert delivered == 5
+        assert len(server.store["fast_runs"]) == 5
+        assert_no_duplicates(server)
+
+    def test_fault_counts_track_overload(self):
+        plan = FaultPlan(overload=FaultSpec(1.0))
+        server = make_server(plan)
+        transport = Transport(server)
+        buffer = sealed_buffer(2, threshold=10**6)
+        buffer.flush(transport, 0.0)
+        assert server.fault_counts["overload"] == 1
+
+
+class TestDedupWindow:
+    def test_fifo_eviction_bounds_the_memory(self):
+        chunk_a = chunk_bytes(2)
+        chunk_b = chunk_bytes(3)
+        server = make_server(FaultPlan(dedup_window=1))
+        server.receive_chunk("fast", chunk_a)
+        server.receive_chunk("fast", chunk_b)  # evicts chunk_a's hash
+        server.receive_chunk("fast", chunk_a)  # not recognised any more
+        assert server.stats.duplicate_chunks == 0
+        wide = make_server(FaultPlan(dedup_window=16))
+        wide.receive_chunk("fast", chunk_a)
+        wide.receive_chunk("fast", chunk_b)
+        wide.receive_chunk("fast", chunk_a)
+        assert wide.stats.duplicate_chunks == 1
+
+    def test_malformed_chunks_are_acked_but_not_remembered(self):
+        server = make_server(FaultPlan())
+        garbage = b"\x00not gzip at all"
+        ack = server.receive_chunk("fast", garbage)
+        assert ack == chunk_hash(garbage)
+        assert server.stats.malformed_chunks == 1
+        # A repaired retransmission of the same bytes must not be
+        # swallowed by the dedup window: only *stored* chunks dedup.
+        server.receive_chunk("fast", garbage)
+        assert server.stats.duplicate_chunks == 0
+
+
+class TestCorruptionEndToEnd:
+    def test_corrupted_bytes_reach_server_and_are_counted(self):
+        plan = FaultPlan(transport_corruption=FaultSpec(1.0, days=(0,)))
+        server = make_server(plan)
+        transport = FaultyTransport(
+            server, plan=plan, rng=np.random.default_rng([5, 0x7A0])
+        )
+        buffer = sealed_buffer(4, threshold=10**6)
+        assert buffer.flush(transport, 0.0) == 0
+        # The damaged chunk really reached the server (gzip magic byte
+        # flipped -> malformed), the ack mismatched, the chunk is kept.
+        assert server.stats.chunks_received == 1
+        assert server.stats.malformed_chunks == 1
+        assert buffer.pending_chunks == 1
+        transport.set_day(1)  # corruption window over
+        buffer.drain(transport, now=0.0, deadline=DAY_S)
+        assert len(server.store["fast_runs"]) == 4
+        assert_no_duplicates(server)
+
+
+class TestStoreRollbackUnits:
+    @pytest.mark.parametrize("backend", ["dict", "columnar"])
+    def test_mark_rollback_restores_count_and_index(self, backend):
+        store = DocumentStore(backend=backend)
+        coll = store.collection("things")
+        coll.create_index("install_id")
+        coll.insert_many([{"install_id": "a", "v": 1}, {"install_id": "b", "v": 2}])
+        mark = coll.mark()
+        coll.insert_many([{"install_id": "a", "v": 3}, {"install_id": "c", "v": 4}])
+        coll.rollback_to(mark)
+        assert len(coll) == 2
+        assert sorted(d["v"] for d in coll.find()) == [1, 2]
+        assert coll.find({"install_id": "a"}) == [{"install_id": "a", "v": 1}]
+        assert coll.find({"install_id": "c"}) == []
+        # The collection still works normally after a rollback.
+        coll.insert({"install_id": "c", "v": 5})
+        assert coll.find({"install_id": "c"}) == [{"install_id": "c", "v": 5}]

@@ -90,7 +90,7 @@ class TestDataBuffer:
             def send(self, kind, data):
                 return "bogus-hash"
 
-        buffer.flush(WrongAck(), max_attempts=2)
+        buffer.flush(WrongAck())
         assert buffer.pending_chunks == 1  # kept for retransmission
         buffer.flush(Transport(receiver))
         assert buffer.pending_chunks == 0
@@ -120,12 +120,133 @@ class TestDataBuffer:
         buffer = DataBuffer()
         buffer.append("fast", fast_run(0))
         buffer.seal_all()
-        buffer.flush(transport, max_attempts=3)
-        # Every attempt corrupted: chunk must not be deleted and the
-        # receiver must have stored nothing.
+        sealed_hash = buffer._pending[0].sha256
+        buffer.flush(transport)
+        # The corrupted bytes really reach the server — that is the whole
+        # point of hash acknowledgement — but the ack they produce can
+        # never match the sealed chunk, so the chunk is kept for
+        # retransmission.
         assert buffer.pending_chunks == 1
-        assert receiver.chunks == []
+        assert len(receiver.chunks) == 1
+        (_kind, stored), = receiver.chunks
+        assert chunk_hash(stored) != sealed_hash
 
+class TestBackoffScheduling:
+    """The virtual-clock retry scheduler (no wall clock, no sleeping)."""
+
+    @staticmethod
+    def _sealed_buffer(**kwargs) -> DataBuffer:
+        buffer = DataBuffer(**kwargs)
+        buffer.append("fast", fast_run(0))
+        buffer.seal_all()
+        return buffer
+
+    class Blackhole:
+        """Transport that loses everything (no ack, ever)."""
+
+        def __init__(self):
+            self.sends = 0
+
+        def send(self, kind, data):
+            self.sends += 1
+            return None
+
+    def test_failed_chunk_is_backed_off_not_hammered(self):
+        from repro.platform.buffer import BACKOFF_BASE_S
+
+        buffer = self._sealed_buffer()
+        hole = self.Blackhole()
+        buffer.flush(hole, 0.0)
+        chunk = buffer._pending[0]
+        assert chunk.attempts == 1
+        assert chunk.next_attempt_at == BACKOFF_BASE_S
+        # A pass before the retry comes due must not touch the transport.
+        buffer.flush(hole, BACKOFF_BASE_S / 2)
+        assert hole.sends == 1
+        buffer.flush(hole, BACKOFF_BASE_S)
+        assert hole.sends == 2
+
+    def test_backoff_doubles_and_caps(self):
+        from repro.platform.buffer import BACKOFF_BASE_S, BACKOFF_CAP_S
+
+        buffer = self._sealed_buffer()
+        hole = self.Blackhole()
+        clock, waits = 0.0, []
+        for _ in range(8):
+            buffer.flush(hole, clock)
+            due = buffer._pending[0].next_attempt_at
+            waits.append(due - clock)
+            clock = due
+        assert waits[:3] == [BACKOFF_BASE_S, BACKOFF_BASE_S * 2, BACKOFF_BASE_S * 4]
+        assert waits[-1] == BACKOFF_CAP_S
+
+    def test_jitter_is_seeded_and_bounded(self):
+        from repro.platform.buffer import BACKOFF_BASE_S
+
+        waits = []
+        for _ in range(2):
+            buffer = self._sealed_buffer()
+            buffer.flush(self.Blackhole(), 0.0, rng=np.random.default_rng(7))
+            waits.append(buffer._pending[0].next_attempt_at)
+        assert waits[0] == waits[1]  # same seed, same schedule
+        assert 0.5 * BACKOFF_BASE_S <= waits[0] < 1.5 * BACKOFF_BASE_S
+
+    def test_retry_budget_dead_letters_then_requeues(self):
+        buffer = self._sealed_buffer(retry_budget=3)
+        hole = self.Blackhole()
+        delivered = buffer.drain(hole, now=0.0, deadline=10**7)
+        assert delivered == 0
+        assert hole.sends == 3
+        assert buffer.pending_chunks == 0
+        assert buffer.dead_letter_chunks == 1
+        assert buffer.chunks_dead_lettered == 1
+        assert buffer.requeue_dead_letters() == 1
+        assert buffer.dead_letter_chunks == 0
+        receiver = Receiver()
+        assert buffer.drain(Transport(receiver), now=0.0, deadline=10**7) == 1
+        assert len(receiver.chunks) == 1
+
+    def test_throttle_opens_circuit_and_burns_no_attempt(self):
+        from repro.platform.errors import Throttled
+
+        class Overloaded:
+            def __init__(self):
+                self.sends = 0
+
+            def send(self, kind, data):
+                self.sends += 1
+                raise Throttled(retry_after=900.0)
+
+        buffer = self._sealed_buffer(retry_budget=2)
+        server = Overloaded()
+        buffer.flush(server, 0.0)
+        assert buffer.throttle_trips == 1
+        assert buffer._pending[0].attempts == 0  # backpressure burns no budget
+        # Circuit open: passes inside the Retry-After window are no-ops.
+        buffer.flush(server, 500.0)
+        assert server.sends == 1
+        buffer.flush(server, 900.0)
+        assert server.sends == 2
+
+    def test_drain_delivers_within_deadline_over_flaky_channel(self):
+        receiver = Receiver()
+        transport = LossyTransport(
+            receiver, loss_probability=0.8, rng=np.random.default_rng(3)
+        )
+        buffer = DataBuffer(fast_threshold_bytes=300)
+        originals = [fast_run(i) for i in range(12)]
+        for record in originals:
+            buffer.append("fast", record)
+        buffer.seal_all()
+        delivered = buffer.drain(
+            transport, now=0.0, deadline=10**7, rng=np.random.default_rng(4)
+        )
+        assert delivered == 12
+        assert buffer.pending_chunks == 0
+        assert sorted(receiver.records(), key=lambda r: r.start) == originals
+
+
+class TestExactlyOnceProperties:
     @settings(max_examples=15, deadline=None)
     @given(st.integers(1, 40), st.integers(0, 10_000))
     def test_property_no_loss_no_duplication(self, n_records, seed):

@@ -1,0 +1,68 @@
+"""DET001 gate on the fault plane.
+
+Fault-drawing code must take its Generator explicitly: a hidden
+``rng or default_rng(...)`` fallback would correlate injection sites,
+shift the dedicated fault streams, and break the chaos harness's
+cross-plan digest equality.  The real ``repro.faults`` package must be
+clean; fixtures that reintroduce the tempting fallback idioms must
+fire.
+"""
+
+from pathlib import Path
+
+from repro.statan.engine import analyze_tree
+
+SRC = Path(__file__).resolve().parents[2] / "src"
+
+
+def rules_fired(root, rule):
+    findings, _ = analyze_tree([str(root)])
+    return [f for f in findings if f.rule == rule]
+
+
+class TestFaultPlaneIsClean:
+    def test_real_faults_package_has_no_det001(self):
+        findings, _ = analyze_tree([str(SRC / "repro" / "faults")])
+        det = [f for f in findings if f.rule == "DET001"]
+        assert det == [], "\n".join(f.format_text() for f in det)
+
+    def test_real_faults_package_has_no_error_findings_at_all(self):
+        findings, _ = analyze_tree([str(SRC / "repro" / "faults")])
+        errors = [f for f in findings if f.severity == "error"]
+        assert errors == [], "\n".join(f.format_text() for f in errors)
+
+
+class TestFallbackIdiomsFire:
+    def test_rng_or_default_fallback_in_fires_trips_det001(self, write_tree):
+        # The tempting "convenience" signature: fires(rng=None) with a
+        # seeded fallback.  Seeded or not, a fallback Generator means
+        # the call site no longer controls the stream -> DET001.
+        root = write_tree({
+            "faults/plan.py": (
+                "import numpy as np\n"
+                "\n"
+                "class FaultSpec:\n"
+                "    def __init__(self, probability):\n"
+                "        self.probability = probability\n"
+                "\n"
+                "    def fires(self, rng=None, day=0):\n"
+                "        rng = rng or np.random.default_rng(0)\n"
+                "        return float(rng.random()) < self.probability\n"
+            ),
+        })
+        findings = rules_fired(root, "DET001")
+        assert len(findings) == 1
+        assert "fires" in findings[0].message or "rng" in findings[0].message
+
+    def test_unseeded_generator_in_fault_draw_trips_det001(self, write_tree):
+        root = write_tree({
+            "faults/transport.py": (
+                "import numpy as np\n"
+                "\n"
+                "def should_drop(probability):\n"
+                "    rng = np.random.default_rng()\n"
+                "    return float(rng.random()) < probability\n"
+            ),
+        })
+        findings = rules_fired(root, "DET001")
+        assert len(findings) == 1
